@@ -1,0 +1,25 @@
+"""Abstract-level claims re-derived from the model (communication, compute, LB, end-to-end)."""
+
+from repro.core.experiments import claims_summary
+
+
+def test_claims_summary(benchmark):
+    claims = benchmark.pedantic(claims_summary, rounds=1, iterations=1)
+    print()
+    print("Headline claims (model) vs paper:")
+    paper = {
+        "communication_reduction_fraction": 0.81,
+        "computation_speedup": 14.11,
+        "load_balance_dispersion_reduction": 0.797,
+        "end_to_end_speedup": 31.7,
+        "copper_ns_day_12000_nodes": 149.0,
+        "water_ns_day_12000_nodes": 68.5,
+    }
+    for key, value in claims.items():
+        print(f"  {key:40s} model={value:10.3f}   paper={paper[key]:10.3f}")
+    assert claims["communication_reduction_fraction"] > 0.55
+    assert claims["computation_speedup"] > 5.0
+    assert claims["load_balance_dispersion_reduction"] > 0.3
+    assert claims["end_to_end_speedup"] > 8.0
+    assert claims["copper_ns_day_12000_nodes"] > 100.0
+    assert claims["water_ns_day_12000_nodes"] > 50.0

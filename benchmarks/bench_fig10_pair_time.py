@@ -1,0 +1,28 @@
+"""Fig. 10 — pair-time distribution across ranks with and without load balance."""
+
+import numpy as np
+
+from repro.core.experiments import fig10_pair_time_distribution
+
+
+def test_fig10_pair_time_distribution(benchmark):
+    distributions = benchmark.pedantic(
+        fig10_pair_time_distribution,
+        kwargs={"system_name": "copper", "atoms_per_core": (1, 2, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Fig. 10 — per-rank pair time distribution (seconds)")
+    for label, times in sorted(distributions.items()):
+        print(
+            f"  {label:8s} min={times.min():.5f} median={np.median(times):.5f} "
+            f"max={times.max():.5f} spread={(times.max() - times.min()):.5f}"
+        )
+    for apc in (1, 2):
+        no_lb = distributions[f"{apc}-nolb"]
+        lb = distributions[f"{apc}-lb"]
+        # the load balance narrows the distribution and lowers the worst rank
+        assert lb.max() <= no_lb.max() * 1.02
+        assert (lb.max() - lb.min()) < (no_lb.max() - no_lb.min())
+        assert lb.std() < no_lb.std()

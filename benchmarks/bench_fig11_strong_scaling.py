@@ -1,0 +1,28 @@
+"""Fig. 11 — strong scaling of the optimized code from 768 to 12,000 nodes."""
+
+from repro.core.experiments import FIG11_NODE_COUNTS, end_to_end_speedup, fig11_strong_scaling
+
+
+def test_fig11_strong_scaling(benchmark):
+    table = benchmark.pedantic(
+        fig11_strong_scaling, kwargs={"systems": ("copper", "water")}, rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text(floatfmt=".2f"))
+    records = table.to_records()
+    for system in ("copper", "water"):
+        series = [r for r in records if r["system"] == system]
+        ns_day = [r["ns/day"] for r in series]
+        eff = [r["parallel efficiency %"] for r in series]
+        # monotonically improving time-to-solution with diminishing efficiency
+        assert all(b >= a * 0.995 for a, b in zip(ns_day, ns_day[1:]))
+        assert eff[0] == 100.0
+        assert 30.0 < eff[-1] < 100.0
+    copper_12k = next(r for r in records if r["system"] == "copper" and r["nodes"] == 12000)
+    water_12k = next(r for r in records if r["system"] == "water" and r["nodes"] == 12000)
+    # headline rates: >100 ns/day for copper, >50 ns/day for water (paper: 149 / 68.5)
+    assert copper_12k["ns/day"] > 100.0
+    assert water_12k["ns/day"] > 50.0
+
+    speedup = end_to_end_speedup()
+    print(f"end-to-end speedup vs baseline configuration at 12,000 nodes: {speedup:.1f}x (paper: 31.7x vs prior state of the art)")

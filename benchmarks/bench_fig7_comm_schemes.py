@@ -1,0 +1,30 @@
+"""Fig. 7 — step-by-step communication optimization on 96 nodes."""
+
+from repro.core.experiments import communication_reduction, fig7_comm_schemes
+
+
+def test_fig7_comm_schemes(benchmark):
+    table = benchmark.pedantic(fig7_comm_schemes, rounds=1, iterations=1)
+    print()
+    print(table.to_text(floatfmt=".3f"))
+    records = table.to_records()
+
+    def relative(cutoff, factors, scheme):
+        for r in records:
+            if r["cutoff"] == cutoff and r["sub-box (r_cut units)"] == str(factors) and r["scheme"] == scheme:
+                return r["relative to baseline"]
+        raise KeyError((cutoff, factors, scheme))
+
+    strong = (0.5, 0.5, 0.5)
+    weak = (1, 1, 1)
+    for cutoff in (8.0, 10.0):
+        # strong-scaling regime: node-based scheme wins, baseline worst
+        assert relative(cutoff, strong, "lb-4l") < relative(cutoff, strong, "3stage-utofu")
+        assert relative(cutoff, strong, "lb-4l") < relative(cutoff, strong, "p2p-utofu")
+        assert relative(cutoff, strong, "lb-4l") < 0.5
+        # [1,1,1] r_cut: the rank-level uTofu patterns beat the node-based scheme
+        assert relative(cutoff, weak, "3stage-utofu") < relative(cutoff, weak, "lb-4l")
+
+    reduction = communication_reduction()
+    print(f"communication reduction (baseline -> lb-4l, cut-8, 0.5 r_cut sub-box): {reduction:.1%} (paper: 81%)")
+    assert reduction > 0.55

@@ -1,0 +1,35 @@
+"""Fig. 9 — step-by-step computation optimization on 96 nodes."""
+
+from repro.core.experiments import computation_speedup, fig9_computation
+
+
+def test_fig9_computation(benchmark):
+    table = benchmark.pedantic(
+        fig9_computation,
+        kwargs={"systems": ("copper", "water"), "atoms_per_core": (1, 2, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.to_text(floatfmt=".2f"))
+    records = table.to_records()
+
+    def speedup(system, apc, stage):
+        for r in records:
+            if r["system"] == system and r["atoms/core"] == apc and r["stage"] == stage:
+                return r["speedup vs baseline"]
+        raise KeyError((system, apc, stage))
+
+    for system in ("copper", "water"):
+        for apc in (1, 2):
+            # removing the framework is the single biggest computational gain
+            assert speedup(system, apc, "rmtf-fp64") > 2.5
+            # the cumulative ladder keeps improving through mixed precision
+            assert speedup(system, apc, "sve-fp16") > speedup(system, apc, "blas-fp32")
+            # full optimization is an order of magnitude in the strong-scaling regime
+            assert speedup(system, apc, "comm_lb") > 6.0
+        # at 8 atoms/core the gains are much smaller (the paper's observation)
+        assert speedup(system, 8, "comm_lb") < speedup(system, 1, "comm_lb")
+
+    headline = computation_speedup("copper", atoms_per_core=1)
+    print(f"computation speedup (copper, 1 atom/core, sve-fp16 vs baseline): {headline:.1f}x (paper: 14.11x on water)")

@@ -1,0 +1,14 @@
+"""Table I — performance survey of NNMD packages, plus this work's modelled rows."""
+
+from repro.core.experiments import table1_packages
+
+
+def test_table1_packages(benchmark):
+    table = benchmark.pedantic(table1_packages, kwargs={"n_nodes": 12_000}, rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    ours = [r for r in table.to_records() if "This work" in str(r["Work"])]
+    assert len(ours) == 2
+    copper_row = next(r for r in ours if r["System"] == "Cu")
+    # the headline direction: well beyond the prior state of the art (4.7 ns/day)
+    assert copper_row["ns/day"] > 50.0

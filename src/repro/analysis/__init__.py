@@ -1,0 +1,12 @@
+"""Analysis helpers: error metrics, SDMR, RDF comparison."""
+
+from .errors import energy_error_per_atom, force_rmse, force_max_error, precision_error_table
+from .sdmr import sdmr_percent
+
+__all__ = [
+    "energy_error_per_atom",
+    "force_rmse",
+    "force_max_error",
+    "precision_error_table",
+    "sdmr_percent",
+]

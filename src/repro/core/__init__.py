@@ -1,0 +1,28 @@
+"""Top-level engine: optimization configurations + the experiment harness.
+
+:class:`OptimizationConfig` captures every toggle the paper evaluates
+(communication scheme, framework removal, precision, GEMM backend, NT->NN
+pre-transposition, intra-node load balance, threading runtime, RDMA memory
+pool); :class:`DeepMDEngine` combines the benchmark system definitions, the
+real domain decomposition and the performance model into per-step timelines
+and ns/day figures; :mod:`experiments` exposes one function per table/figure
+of the paper, which the ``benchmarks/`` directory drives.
+"""
+
+from .config import OptimizationConfig, FIG9_STAGES, baseline_config, optimized_config
+from .systems import SystemSpec, copper_spec, water_spec
+from .engine import DeepMDEngine, StepReport
+from . import experiments
+
+__all__ = [
+    "OptimizationConfig",
+    "FIG9_STAGES",
+    "baseline_config",
+    "optimized_config",
+    "SystemSpec",
+    "copper_spec",
+    "water_spec",
+    "DeepMDEngine",
+    "StepReport",
+    "experiments",
+]

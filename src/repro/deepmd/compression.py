@@ -1,0 +1,117 @@
+"""Model compression: tabulated embedding networks.
+
+Guo et al. (PPoPP'22) — the baseline this paper builds on — compress the
+embedding network by tabulating G(s) on a fine grid and replacing the MLP
+evaluation with piecewise polynomial interpolation, which removes most of the
+embedding-net GEMMs.  :class:`TabulatedEmbeddingSet` reproduces that scheme
+with cubic Hermite interpolation: values and derivatives are stored per grid
+node, so both G(s) and dG/ds (needed by the force computation) are obtained
+directly from the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .networks import FastMLP
+
+
+@dataclass
+class _Table:
+    grid: np.ndarray  # (K,)
+    values: np.ndarray  # (K, M)
+    derivatives: np.ndarray  # (K, M)
+
+    @property
+    def width(self) -> int:
+        return self.values.shape[1]
+
+
+class TabulatedEmbeddingSet:
+    """Tabulated (compressed) versions of every embedding net.
+
+    Parameters
+    ----------
+    fast_embeddings:
+        exported :class:`FastMLP` embedding nets keyed by (centre, neighbour)
+        type pair.
+    s_max:
+        upper end of the tabulated range of the switching function; s(r) is
+        bounded by 1/r_cs so a safe default can be derived from the model
+        cutoffs.
+    n_points:
+        number of grid nodes (the original implementation uses a stride of
+        1e-2 split into a coarse and a fine table; a single uniform grid is
+        enough to reproduce both the numerics and the cost structure).
+    """
+
+    def __init__(
+        self,
+        fast_embeddings: dict[tuple[int, int], FastMLP],
+        s_max: float,
+        n_points: int = 1024,
+        derivative_step: float = 1.0e-4,
+    ) -> None:
+        if s_max <= 0:
+            raise ValueError("s_max must be positive")
+        if n_points < 4:
+            raise ValueError("need at least 4 grid points")
+        self.s_max = float(s_max)
+        self.n_points = int(n_points)
+        self.tables: dict[tuple[int, int], _Table] = {}
+        grid = np.linspace(0.0, self.s_max, self.n_points)
+        for key, net in fast_embeddings.items():
+            values = net.forward(grid[:, None], cache=False)
+            plus = net.forward((grid + derivative_step)[:, None], cache=False)
+            minus = net.forward((grid - derivative_step)[:, None], cache=False)
+            derivatives = (plus - minus) / (2.0 * derivative_step)
+            self.tables[key] = _Table(grid=grid, values=values, derivatives=derivatives)
+
+    @property
+    def width(self) -> int:
+        return next(iter(self.tables.values())).width
+
+    def evaluate(self, key: tuple[int, int], s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated ``(G, dG/ds)`` for the scalar inputs ``s``.
+
+        Values outside the tabulated range are clamped to the end nodes (the
+        switching function is bounded, so this only happens for padding).
+        """
+        table = self.tables[key]
+        s = np.asarray(s, dtype=np.float64).reshape(-1)
+        grid = table.grid
+        h = grid[1] - grid[0]
+        clamped = np.clip(s, grid[0], grid[-1])
+        idx = np.minimum((clamped - grid[0]) / h, len(grid) - 2).astype(int)
+        t = (clamped - grid[idx]) / h
+
+        y0 = table.values[idx]
+        y1 = table.values[idx + 1]
+        d0 = table.derivatives[idx] * h
+        d1 = table.derivatives[idx + 1] * h
+
+        t = t[:, None]
+        t2 = t * t
+        t3 = t2 * t
+        h00 = 2.0 * t3 - 3.0 * t2 + 1.0
+        h10 = t3 - 2.0 * t2 + t
+        h01 = -2.0 * t3 + 3.0 * t2
+        h11 = t3 - t2
+        values = h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1
+
+        dh00 = (6.0 * t2 - 6.0 * t) / h
+        dh10 = (3.0 * t2 - 4.0 * t + 1.0) / h
+        dh01 = (-6.0 * t2 + 6.0 * t) / h
+        dh11 = (3.0 * t2 - 2.0 * t) / h
+        derivs = dh00 * y0 + dh10 * d0 + dh01 * y1 + dh11 * d1
+        return values, derivs
+
+    def max_interpolation_error(self, key: tuple[int, int], net: FastMLP, n_samples: int = 512, rng=None) -> float:
+        """Max |table - net| over random samples, a compression-quality metric."""
+        rng = np.random.default_rng(rng)
+        s = rng.uniform(0.0, self.s_max, size=n_samples)
+        exact = net.forward(s[:, None], cache=False)
+        approx, _ = self.evaluate(key, s)
+        return float(np.max(np.abs(exact - approx)))

@@ -1,0 +1,81 @@
+"""Embedding networks of the DeepPot-SE descriptor.
+
+For a model without type embedding (the configuration used by the paper),
+DeePMD-kit trains one embedding network per (centre type, neighbour type)
+pair.  Each network maps the scalar s(r_ij) to an M-dimensional feature
+G(s(r_ij)); translational/rotational invariance comes from feeding only
+s(r), permutational invariance from the symmetric contraction performed in the
+descriptor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nnframework.layers import MLP
+from ..nnframework.tensor import Tensor
+from ..utils.rng import default_rng, spawn_rngs
+from .networks import FastMLP
+
+
+class EmbeddingNetSet:
+    """One embedding MLP per (centre type, neighbour type) pair."""
+
+    def __init__(
+        self,
+        n_types: int,
+        sizes: tuple[int, ...] = (25, 50, 100),
+        rng=None,
+    ) -> None:
+        if n_types < 1:
+            raise ValueError("need at least one atom type")
+        if not sizes:
+            raise ValueError("embedding net needs at least one layer")
+        self.n_types = int(n_types)
+        self.sizes = tuple(int(s) for s in sizes)
+        rngs = spawn_rngs(
+            rng if not isinstance(rng, np.random.Generator) else None,
+            self.n_types * self.n_types,
+        )
+        if isinstance(rng, np.random.Generator):
+            rngs = [rng] * (self.n_types * self.n_types)
+        self.nets: dict[tuple[int, int], MLP] = {}
+        k = 0
+        for ti in range(self.n_types):
+            for tj in range(self.n_types):
+                self.nets[(ti, tj)] = MLP(
+                    1,
+                    list(self.sizes),
+                    out_features=None,
+                    activation="tanh",
+                    resnet=True,
+                    rng=rngs[k],
+                    name=f"embedding.{ti}.{tj}",
+                )
+                k += 1
+
+    @property
+    def width(self) -> int:
+        """Output dimension M of every embedding net."""
+        return self.sizes[-1]
+
+    def net(self, center_type: int, neighbor_type: int) -> MLP:
+        return self.nets[(center_type, neighbor_type)]
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for net in self.nets.values():
+            params.extend(net.parameters())
+        return params
+
+    def export(self) -> dict[tuple[int, int], FastMLP]:
+        """Export all nets to framework-free kernels."""
+        return {key: FastMLP.from_mlp(net) for key, net in self.nets.items()}
+
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def pairs(self) -> Iterable[tuple[int, int]]:
+        return self.nets.keys()

@@ -1,0 +1,204 @@
+"""Local environment matrices R_i for the DeepPot-SE descriptor.
+
+For every centre atom i the environment matrix collects, for each neighbour j
+within the cutoff, the row
+
+    R_ij = [ s(r_ij),  s(r_ij) x_ij / r_ij,  s(r_ij) y_ij / r_ij,  s(r_ij) z_ij / r_ij ]
+
+where d_ij = r_j - r_i (minimum image).  Rows are padded to a fixed maximum
+neighbour count so all per-atom quantities are dense arrays.
+
+The paper's kernel-simplification optimization ("reorganize the environment
+matrix to pre-classify each type of atom") is reproduced by
+``sort_neighbors_by_type=True``: neighbours are grouped by species so the
+per-type embedding nets operate on contiguous slices instead of slicing and
+concatenating intermediate matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..md.atoms import Atoms
+from ..md.box import Box
+from ..md.neighbor import NeighborData
+from .smoothing import switching_derivative, switching_function
+
+
+@dataclass
+class LocalEnvironment:
+    """Dense per-atom environment data (all arrays padded to ``max_neighbors``).
+
+    Attributes
+    ----------
+    R:
+        ``(n, N, 4)`` environment matrices.
+    displacements:
+        ``(n, N, 3)`` minimum-image vectors d_ij = r_j - r_i (0 for padding).
+    distances:
+        ``(n, N)`` |d_ij| (0 for padding).
+    s, ds_dr:
+        ``(n, N)`` switching function values and radial derivatives.
+    mask:
+        ``(n, N)`` 1.0 for real neighbours, 0.0 for padding.
+    neighbor_indices:
+        ``(n, N)`` neighbour atom indices (-1 for padding).
+    neighbor_types:
+        ``(n, N)`` neighbour species (-1 for padding).
+    types:
+        ``(n,)`` centre-atom species.
+    cutoff, cutoff_smooth:
+        the switching-function radii used.
+    """
+
+    R: np.ndarray
+    displacements: np.ndarray
+    distances: np.ndarray
+    s: np.ndarray
+    ds_dr: np.ndarray
+    mask: np.ndarray
+    neighbor_indices: np.ndarray
+    neighbor_types: np.ndarray
+    types: np.ndarray
+    cutoff: float
+    cutoff_smooth: float
+
+    @property
+    def n_atoms(self) -> int:
+        return self.R.shape[0]
+
+    @property
+    def max_neighbors(self) -> int:
+        return self.R.shape[1]
+
+    def neighbor_counts(self) -> np.ndarray:
+        return self.mask.sum(axis=1).astype(np.int64)
+
+    def select(self, index) -> "LocalEnvironment":
+        """Sub-environment for a subset of centre atoms (used per-type)."""
+        return LocalEnvironment(
+            R=self.R[index],
+            displacements=self.displacements[index],
+            distances=self.distances[index],
+            s=self.s[index],
+            ds_dr=self.ds_dr[index],
+            mask=self.mask[index],
+            neighbor_indices=self.neighbor_indices[index],
+            neighbor_types=self.neighbor_types[index],
+            types=self.types[index],
+            cutoff=self.cutoff,
+            cutoff_smooth=self.cutoff_smooth,
+        )
+
+
+def build_local_environment(
+    atoms: Atoms,
+    box: Box,
+    neighbors: NeighborData,
+    cutoff: float,
+    cutoff_smooth: float,
+    max_neighbors: int | None = None,
+    sort_neighbors_by_type: bool = True,
+) -> LocalEnvironment:
+    """Build the dense local environments of all atoms.
+
+    ``neighbors`` may have been built with a larger search radius (cutoff +
+    skin); neighbours beyond ``cutoff`` are dropped here.
+    """
+    if cutoff <= 0 or not 0 < cutoff_smooth < cutoff:
+        raise ValueError("require 0 < cutoff_smooth < cutoff")
+    n = len(atoms)
+    nei = neighbors.neighbors
+    counts = neighbors.counts
+    n_pad = nei.shape[1] if max_neighbors is None else int(max_neighbors)
+    n_pad = max(n_pad, 1)
+
+    positions = atoms.positions
+    types = atoms.types
+
+    # Gather displacement vectors for every (centre, slot) pair.
+    slot_valid = nei >= 0
+    safe_idx = np.where(slot_valid, nei, 0)
+    disp = positions[safe_idx] - positions[:, None, :]
+    disp = box.minimum_image(disp)
+    dist = np.linalg.norm(disp, axis=2)
+    within = slot_valid & (dist > 0.0) & (dist <= cutoff)
+
+    # Compact each row to the leading slots, optionally grouped by type then
+    # by distance (deterministic ordering aids reproducibility and mirrors the
+    # paper's pre-classified layout).
+    nei_types_raw = np.where(slot_valid, types[safe_idx], -1)
+
+    R = np.zeros((n, n_pad, 4))
+    displacements = np.zeros((n, n_pad, 3))
+    distances = np.zeros((n, n_pad))
+    s_values = np.zeros((n, n_pad))
+    ds_values = np.zeros((n, n_pad))
+    mask = np.zeros((n, n_pad))
+    neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)
+    neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)
+
+    for i in range(n):
+        cols = np.nonzero(within[i])[0]
+        if len(cols) == 0:
+            continue
+        if len(cols) > n_pad:
+            # Keep the closest neighbours if the padding budget is exceeded.
+            order = np.argsort(dist[i, cols], kind="stable")
+            cols = cols[order[:n_pad]]
+        if sort_neighbors_by_type:
+            order = np.lexsort((dist[i, cols], nei_types_raw[i, cols]))
+        else:
+            order = np.argsort(dist[i, cols], kind="stable")
+        cols = cols[order]
+        m = len(cols)
+        d = disp[i, cols]
+        r = dist[i, cols]
+        displacements[i, :m] = d
+        distances[i, :m] = r
+        neighbor_indices[i, :m] = nei[i, cols]
+        neighbor_types[i, :m] = nei_types_raw[i, cols]
+        mask[i, :m] = 1.0
+
+    s_values = switching_function(distances, cutoff, cutoff_smooth) * mask
+    ds_values = switching_derivative(distances, cutoff, cutoff_smooth) * mask
+
+    safe_dist = np.where(distances > 0.0, distances, 1.0)
+    unit = displacements / safe_dist[..., None]
+    R[..., 0] = s_values
+    R[..., 1:] = s_values[..., None] * unit
+    R *= mask[..., None]
+
+    return LocalEnvironment(
+        R=R,
+        displacements=displacements,
+        distances=distances,
+        s=s_values,
+        ds_dr=ds_values,
+        mask=mask,
+        neighbor_indices=neighbor_indices,
+        neighbor_types=neighbor_types,
+        types=types.copy(),
+        cutoff=cutoff,
+        cutoff_smooth=cutoff_smooth,
+    )
+
+
+def suggested_max_neighbors(atoms: Atoms, box: Box, neighbors: NeighborData, cutoff: float, margin: float = 1.2) -> int:
+    """A padding size comfortably above the observed neighbour count.
+
+    The paper quotes 46/92/512 neighbours for H/O/Cu at the benchmark cutoffs;
+    the suggestion here simply measures the actual maximum and adds a margin.
+    """
+    positions = atoms.positions
+    nei = neighbors.neighbors
+    valid = nei >= 0
+    safe_idx = np.where(valid, nei, 0)
+    disp = positions[safe_idx] - positions[:, None, :]
+    disp = box.minimum_image(disp)
+    dist = np.linalg.norm(disp, axis=2)
+    within = valid & (dist > 0.0) & (dist <= cutoff)
+    max_count = int(within.sum(axis=1).max()) if len(positions) else 0
+    return max(int(np.ceil(max_count * margin)), 1)

@@ -1,0 +1,415 @@
+"""The Deep Potential model: energies and analytic forces.
+
+:class:`DeepPotential` combines the environment matrix, the embedding and
+fitting networks, descriptor standardization and per-type energy shifts into
+an interatomic potential with two evaluation paths:
+
+* :meth:`evaluate` — the **optimized, framework-free** path.  All kernels are
+  hand-written NumPy (forward + analytic backward), matrix products run
+  through a :class:`~repro.deepmd.gemm.GemmBackend` (blas or sve-like, NT→NN
+  pre-transposition), the precision policy selects fp64/fp32/fp16 per
+  component, and the embedding nets can be replaced by the compressed
+  (tabulated) variant.  This is the code path the paper ships.
+
+* :meth:`evaluate_with_framework` — the **baseline** path.  The embedding and
+  fitting networks execute inside the mini framework
+  (:mod:`repro.nnframework`), one :class:`Session` run per evaluation, with
+  dE/ds and dE/dR obtained by automatic differentiation.  Numerically this
+  gives the same double-precision result, but it carries the framework's
+  fixed per-run overhead — the overhead the paper removes.
+
+Both paths share the geometric force chain (descriptor → neighbour
+displacements → atoms), so the equivalence of the two paths is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..md.atoms import Atoms
+from ..md.box import Box
+from ..md.neighbor import NeighborData
+from ..nnframework.session import Session
+from ..nnframework.tensor import Tensor
+from ..utils.rng import default_rng
+from .compression import TabulatedEmbeddingSet
+from .descriptor import build_descriptor_graph, raw_descriptors
+from .embedding import EmbeddingNetSet
+from .envmat import LocalEnvironment, build_local_environment
+from .fitting import FittingNetSet
+from .gemm import GemmBackend
+from .precision import DOUBLE, PrecisionPolicy, get_policy
+
+
+@dataclass
+class DeepPotentialConfig:
+    """Hyper-parameters of a Deep Potential model.
+
+    Defaults follow the paper's benchmark configuration (fitting net
+    (240, 240, 240)); tests and examples use smaller networks for speed.
+    """
+
+    type_names: tuple[str, ...]
+    cutoff: float
+    cutoff_smooth: float | None = None
+    embedding_sizes: tuple[int, ...] = (25, 50, 100)
+    axis_neurons: int = 16
+    fitting_sizes: tuple[int, ...] = (240, 240, 240)
+    max_neighbors: int = 128
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.type_names = tuple(self.type_names)
+        if not self.type_names:
+            raise ValueError("need at least one atom type")
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if self.cutoff_smooth is None:
+            self.cutoff_smooth = max(self.cutoff - 1.0, 0.5 * self.cutoff)
+        if not 0 < self.cutoff_smooth < self.cutoff:
+            raise ValueError("require 0 < cutoff_smooth < cutoff")
+        if self.axis_neurons > self.embedding_sizes[-1]:
+            raise ValueError("axis_neurons cannot exceed the embedding width")
+        if self.max_neighbors < 1:
+            raise ValueError("max_neighbors must be positive")
+
+    @property
+    def n_types(self) -> int:
+        return len(self.type_names)
+
+    @property
+    def descriptor_dim(self) -> int:
+        return self.embedding_sizes[-1] * self.axis_neurons
+
+
+@dataclass
+class ModelOutput:
+    """Energies and forces from one model evaluation."""
+
+    energy: float
+    per_atom_energy: np.ndarray
+    forces: np.ndarray
+    precision: str
+    used_framework: bool = False
+
+
+class DeepPotential:
+    """A trainable Deep Potential model."""
+
+    def __init__(self, config: DeepPotentialConfig) -> None:
+        self.config = config
+        rng = default_rng(config.seed)
+        self.embeddings = EmbeddingNetSet(config.n_types, config.embedding_sizes, rng=rng)
+        self.fittings = FittingNetSet(
+            config.n_types, config.descriptor_dim, config.fitting_sizes, rng=rng
+        )
+        dim = config.descriptor_dim
+        self.descriptor_mean = np.zeros((config.n_types, dim))
+        self.descriptor_std = np.ones((config.n_types, dim))
+        self.energy_bias = np.zeros(config.n_types)
+        self._fast_embeddings = None
+        self._fast_fittings = None
+        self._compressed: TabulatedEmbeddingSet | None = None
+
+    # -- bookkeeping -------------------------------------------------------------
+    @property
+    def n_types(self) -> int:
+        return self.config.n_types
+
+    def parameters(self):
+        return self.embeddings.parameters() + self.fittings.parameters()
+
+    def n_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def invalidate_kernels(self) -> None:
+        """Drop exported kernels (call after the trainer updates weights)."""
+        self._fast_embeddings = None
+        self._fast_fittings = None
+        self._compressed = None
+
+    def fast_embeddings(self):
+        if self._fast_embeddings is None:
+            self._fast_embeddings = self.embeddings.export()
+        return self._fast_embeddings
+
+    def fast_fittings(self):
+        if self._fast_fittings is None:
+            self._fast_fittings = self.fittings.export()
+        return self._fast_fittings
+
+    def compressed_embeddings(
+        self, n_points: int = 2048, min_distance: float = 0.5
+    ) -> TabulatedEmbeddingSet:
+        """Tabulated embedding nets covering s(r) down to ``min_distance`` A.
+
+        The switching function equals 1/r below the smooth cutoff, so the
+        table must extend to 1/min_distance to cover the closest approaches
+        seen in practice.
+        """
+        if self._compressed is None:
+            s_max = 1.0 / max(min_distance, 1.0e-3)
+            self._compressed = TabulatedEmbeddingSet(
+                self.fast_embeddings(), s_max=s_max, n_points=n_points
+            )
+        return self._compressed
+
+    def set_descriptor_stats(self, mean: np.ndarray, std: np.ndarray) -> None:
+        mean = np.asarray(mean, dtype=np.float64)
+        std = np.asarray(std, dtype=np.float64)
+        expected = (self.n_types, self.config.descriptor_dim)
+        if mean.shape != expected or std.shape != expected:
+            raise ValueError(f"descriptor stats must have shape {expected}")
+        if np.any(std <= 0):
+            raise ValueError("descriptor std must be positive")
+        self.descriptor_mean = mean
+        self.descriptor_std = std
+
+    def set_energy_bias(self, bias: np.ndarray) -> None:
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (self.n_types,):
+            raise ValueError("energy bias must have one entry per type")
+        self.energy_bias = bias
+
+    # -- environments --------------------------------------------------------------
+    def build_environment(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData
+    ) -> LocalEnvironment:
+        return build_local_environment(
+            atoms,
+            box,
+            neighbors,
+            cutoff=self.config.cutoff,
+            cutoff_smooth=self.config.cutoff_smooth,
+            max_neighbors=self.config.max_neighbors,
+        )
+
+    # ---------------------------------------------------------------------------
+    # Optimized, framework-free evaluation
+    # ---------------------------------------------------------------------------
+    def evaluate(
+        self,
+        atoms: Atoms,
+        box: Box,
+        neighbors: NeighborData,
+        precision: PrecisionPolicy | str = DOUBLE,
+        backend: GemmBackend | None = None,
+        compressed: bool = False,
+        environment: LocalEnvironment | None = None,
+    ) -> ModelOutput:
+        """Energies and analytic forces with the hand-written kernels."""
+        policy = get_policy(precision)
+        backend = backend or GemmBackend()
+        env = environment if environment is not None else self.build_environment(atoms, box, neighbors)
+        n = env.n_atoms
+        per_atom = np.zeros(n)
+        forces = np.zeros((n, 3))
+
+        for ti in range(self.n_types):
+            idx = np.nonzero(env.types == ti)[0]
+            if len(idx) == 0:
+                continue
+            energies_t, g_d, sub = self._per_type_fast(env, ti, idx, policy, backend, compressed)
+            per_atom[idx] = energies_t
+            self._scatter_forces(forces, idx, sub, g_d)
+
+        return ModelOutput(
+            energy=float(per_atom.sum()),
+            per_atom_energy=per_atom,
+            forces=forces,
+            precision=policy.name,
+            used_framework=False,
+        )
+
+    def _per_type_fast(
+        self,
+        env: LocalEnvironment,
+        center_type: int,
+        atom_indices: np.ndarray,
+        policy: PrecisionPolicy,
+        backend: GemmBackend,
+        compressed: bool,
+    ):
+        """Per-atom energies and per-neighbour displacement gradients for one type."""
+        sub = env.select(atom_indices)
+        batch, n_nei = sub.s.shape
+        m_width = self.embeddings.width
+        m2 = self.config.axis_neurons
+        emb_dtypes = policy.embedding_dtypes(len(self.config.embedding_sizes))
+        fit_dtypes = policy.fitting_dtypes(len(self.config.fitting_sizes) + 1)
+
+        fast_emb = self.fast_embeddings()
+        table = self.compressed_embeddings() if compressed else None
+
+        # --- embedding features G and the bookkeeping needed for the backward
+        g = np.zeros((batch, n_nei, m_width))
+        dg_ds_table = np.zeros((batch, n_nei, m_width)) if compressed else None
+        group_cache: dict[int, tuple[np.ndarray, object]] = {}
+        for tj in np.unique(sub.neighbor_types):
+            if tj < 0:
+                continue
+            tj = int(tj)
+            sel = sub.neighbor_types == tj
+            s_sel = sub.s[sel]
+            if compressed:
+                g_sel, dg_sel = table.evaluate((center_type, tj), s_sel)
+                g[sel] = g_sel
+                dg_ds_table[sel] = dg_sel
+            else:
+                net = fast_emb[(center_type, tj)]
+                g_sel = net.forward(s_sel[:, None], backend=backend, dtypes=emb_dtypes, cache=True)
+                g[sel] = g_sel
+                group_cache[tj] = (sel, net._cache)
+
+        # --- descriptor
+        a = np.einsum("bnk,bnm->bkm", sub.R, g) / n_nei  # (B, 4, M)
+        a_axis = a[:, :, :m2]
+        d = np.einsum("bkm,bkq->bmq", a, a_axis)  # (B, M, M2)
+        d_flat = d.reshape(batch, m_width * m2)
+        mean = self.descriptor_mean[center_type]
+        std = self.descriptor_std[center_type]
+        d_std = (d_flat - mean) / std
+
+        # --- fitting net forward + backward (dE/dD)
+        fit_net = self.fast_fittings()[center_type]
+        energies = fit_net.forward(d_std, backend=backend, dtypes=fit_dtypes, cache=True)
+        energies = energies.reshape(batch) + self.energy_bias[center_type]
+        grad_dstd = fit_net.backward_input(
+            np.ones((batch, 1)), backend=backend, dtypes=fit_dtypes
+        )
+        grad_dflat = grad_dstd / std
+        grad_d = grad_dflat.reshape(batch, m_width, m2)
+
+        # --- descriptor backward: dE/dA, dE/dR, dE/dG
+        grad_a = np.einsum("bkq,bmq->bkm", a_axis, grad_d)
+        grad_a[:, :, :m2] += np.einsum("bkm,bmq->bkq", a, grad_d)
+        grad_r = np.einsum("bnm,bkm->bnk", g, grad_a) / n_nei  # (B, N, 4)
+        grad_g = np.einsum("bnk,bkm->bnm", sub.R, grad_a) / n_nei  # (B, N, M)
+
+        # --- embedding backward: dE/ds from the G path
+        grad_s_embed = np.zeros((batch, n_nei))
+        if compressed:
+            grad_s_embed = np.einsum("bnm,bnm->bn", grad_g, dg_ds_table)
+        else:
+            for tj, (sel, cache) in group_cache.items():
+                net = fast_emb[(center_type, tj)]
+                net._cache = cache
+                gs_sel = net.backward_input(grad_g[sel], backend=backend, dtypes=emb_dtypes)
+                grad_s_embed[sel] = gs_sel[:, 0]
+
+        g_d = self._geometric_chain(sub, grad_r, grad_s_embed)
+        return energies, g_d, sub
+
+    # ---------------------------------------------------------------------------
+    # Baseline ("framework") evaluation
+    # ---------------------------------------------------------------------------
+    def evaluate_with_framework(
+        self,
+        atoms: Atoms,
+        box: Box,
+        neighbors: NeighborData,
+        session: Session | None = None,
+        environment: LocalEnvironment | None = None,
+    ) -> ModelOutput:
+        """Energies/forces with the embedding+fitting graphs run in the framework.
+
+        One session run is issued per centre type per evaluation, mirroring the
+        original hybrid-parallel model in which every thread executes a
+        TensorFlow session; the session accumulates the modelled fixed
+        overhead that §III-B.1 measures at ~4 ms per run.
+        """
+        session = session or Session()
+        env = environment if environment is not None else self.build_environment(atoms, box, neighbors)
+        n = env.n_atoms
+        per_atom = np.zeros(n)
+        forces = np.zeros((n, 3))
+
+        for ti in range(self.n_types):
+            idx = np.nonzero(env.types == ti)[0]
+            if len(idx) == 0:
+                continue
+
+            def run_graph(ti=ti, idx=idx):
+                graph = build_descriptor_graph(
+                    env,
+                    ti,
+                    idx,
+                    self.embeddings,
+                    self.fittings,
+                    self.config.axis_neurons,
+                    self.descriptor_mean[ti],
+                    self.descriptor_std[ti],
+                    self.energy_bias[ti],
+                    inputs_require_grad=True,
+                )
+                total = graph.energies.sum()
+                total.backward()
+                return graph
+
+            graph = session.run(run_graph)
+            sub = env.select(idx)
+            batch, n_nei = sub.s.shape
+            per_atom[idx] = graph.energies.data.reshape(batch)
+            grad_s_embed = graph.s_input.grad.reshape(batch, n_nei)
+            grad_r = np.transpose(graph.r_transpose_input.grad, (0, 2, 1))
+            g_d = self._geometric_chain(sub, grad_r, grad_s_embed)
+            self._scatter_forces(forces, idx, sub, g_d)
+
+        return ModelOutput(
+            energy=float(per_atom.sum()),
+            per_atom_energy=per_atom,
+            forces=forces,
+            precision=DOUBLE.name,
+            used_framework=True,
+        )
+
+    # ---------------------------------------------------------------------------
+    # Shared geometric chain
+    # ---------------------------------------------------------------------------
+    @staticmethod
+    def _geometric_chain(sub: LocalEnvironment, grad_r: np.ndarray, grad_s_embed: np.ndarray) -> np.ndarray:
+        """Gradient of the per-atom energies with respect to the displacements.
+
+        Combines dE/dR (direct environment-matrix dependence) and dE/ds (the
+        embedding path) with ds/dr and the R-row geometry to give
+        g_d[b, n, :] = dE_b / d(d_bn), the gradient with respect to the
+        minimum-image displacement vector of each neighbour slot.
+        """
+        mask = sub.mask
+        safe_r = np.where(sub.distances > 0.0, sub.distances, 1.0)
+        unit = sub.displacements / safe_r[..., None]
+        s = sub.s
+        ds_dr = sub.ds_dr
+        h = s / safe_r
+        dh_dr = ds_dr / safe_r - s / (safe_r * safe_r)
+
+        grad_s_total = grad_s_embed + grad_r[..., 0]
+        grad_r_vec = grad_r[..., 1:4]
+        radial = grad_s_total * ds_dr + np.einsum("bnk,bnk->bn", grad_r_vec, sub.displacements) * dh_dr
+        g_d = radial[..., None] * unit + grad_r_vec * h[..., None]
+        return g_d * mask[..., None]
+
+    @staticmethod
+    def _scatter_forces(forces: np.ndarray, atom_indices: np.ndarray, sub: LocalEnvironment, g_d: np.ndarray) -> None:
+        """Accumulate forces from the displacement gradients.
+
+        The energy of centre i depends on d_ij = r_j - r_i, so
+        F_j -= dE_i/dd_ij and F_i += dE_i/dd_ij.
+        """
+        batch, n_nei = sub.s.shape
+        valid = sub.mask > 0.0
+        centers = np.repeat(np.asarray(atom_indices), n_nei).reshape(batch, n_nei)
+        neighbor_ids = sub.neighbor_indices
+        np.add.at(forces, centers[valid], g_d[valid])
+        np.add.at(forces, neighbor_ids[valid], -g_d[valid])
+
+    # ---------------------------------------------------------------------------
+    # Descriptor statistics helper (used by the trainer)
+    # ---------------------------------------------------------------------------
+    def compute_raw_descriptors(self, env: LocalEnvironment, center_type: int) -> np.ndarray:
+        idx = np.nonzero(env.types == center_type)[0]
+        if len(idx) == 0:
+            return np.empty((0, self.config.descriptor_dim))
+        return raw_descriptors(env, center_type, idx, self.fast_embeddings(), self.config.axis_neurons)

@@ -1,0 +1,170 @@
+"""Framework-free MLP kernels (the "TensorFlow removement" code path).
+
+:class:`FastMLP` evaluates an exported multi-layer perceptron with plain
+NumPy, caching activations so the input-gradient (vector-Jacobian product)
+needed by the analytic force computation can be obtained without a framework.
+All matrix products are routed through a :class:`~repro.deepmd.gemm.GemmBackend`
+so that precision, kernel choice (blas vs sve) and NT-vs-NN layout are
+accounted exactly as in the paper's optimized implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nnframework.layers import MLP
+from .gemm import GemmBackend
+
+
+def _activation(name: str):
+    if name == "tanh":
+        return np.tanh, lambda y: 1.0 - y * y  # derivative expressed via output
+    if name == "sigmoid":
+        return (
+            lambda x: 1.0 / (1.0 + np.exp(-x)),
+            lambda y: y * (1.0 - y),
+        )
+    if name == "relu":
+        return lambda x: np.maximum(x, 0.0), lambda y: (y > 0.0).astype(y.dtype)
+    if name == "softplus":
+        return (
+            lambda x: np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0),
+            lambda y: 1.0 - np.exp(-y),
+        )
+    if name == "linear":
+        return lambda x: x, lambda y: np.ones_like(y)
+    raise ValueError(f"unknown activation {name!r}")
+
+
+@dataclass
+class _LayerSpec:
+    weight: np.ndarray
+    weight_t: np.ndarray
+    bias: np.ndarray
+    activation: str
+    resnet: bool
+
+
+class FastMLP:
+    """An exported MLP evaluated with hand-written kernels.
+
+    Parameters
+    ----------
+    layer_specs:
+        the output of :meth:`repro.nnframework.layers.MLP.export_weights`.
+    """
+
+    def __init__(self, layer_specs: list[dict]) -> None:
+        if not layer_specs:
+            raise ValueError("FastMLP needs at least one layer")
+        self.layers: list[_LayerSpec] = []
+        for spec in layer_specs:
+            weight = np.asarray(spec["weight"], dtype=np.float64)
+            self.layers.append(
+                _LayerSpec(
+                    weight=weight,
+                    weight_t=np.ascontiguousarray(weight.T),
+                    bias=np.asarray(spec["bias"], dtype=np.float64),
+                    activation=spec["activation"],
+                    resnet=bool(spec.get("resnet", False)),
+                )
+            )
+        self.in_features = self.layers[0].weight.shape[0]
+        self.out_features = self.layers[-1].weight.shape[1]
+        self._cache: list[dict] | None = None
+
+    @classmethod
+    def from_mlp(cls, mlp: MLP) -> "FastMLP":
+        return cls(mlp.export_weights())
+
+    # -- forward ---------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        backend: GemmBackend | None = None,
+        dtypes: list | None = None,
+        cache: bool = True,
+    ) -> np.ndarray:
+        """Evaluate the network on a ``(batch, in_features)`` input.
+
+        ``dtypes`` optionally gives the compute precision per layer (defaults
+        to float64 everywhere); this is how the mixed-precision policies pick
+        the fp32/fp16 layers.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        backend = backend or GemmBackend()
+        cache_entries: list[dict] = []
+        h = x
+        for li, layer in enumerate(self.layers):
+            dtype = np.float64 if dtypes is None else dtypes[min(li, len(dtypes) - 1)]
+            act, _ = _activation(layer.activation)
+            pre = backend.matmul(h, layer.weight, dtype=dtype) + layer.bias
+            out = act(pre)
+            if layer.resnet:
+                if layer.weight.shape[1] == layer.weight.shape[0]:
+                    out = out + h
+                elif layer.weight.shape[1] == 2 * layer.weight.shape[0]:
+                    out = out + np.concatenate([h, h], axis=-1)
+            if cache:
+                cache_entries.append({"input": h, "output": out, "pre": pre, "dtype": dtype})
+            h = out
+        if cache:
+            self._cache = cache_entries
+        return h
+
+    def __call__(self, x, backend=None, dtypes=None):
+        return self.forward(x, backend=backend, dtypes=dtypes)
+
+    # -- backward (input gradient) ----------------------------------------------
+    def backward_input(
+        self,
+        grad_output: np.ndarray,
+        backend: GemmBackend | None = None,
+        dtypes: list | None = None,
+    ) -> np.ndarray:
+        """Vector-Jacobian product: gradient of the cached forward wrt its input.
+
+        When the backend was created with ``pretranspose=True`` the backward
+        products use the stored transposed weights as NN GEMMs (the paper's
+        GEMM-NT -> GEMM-NN preprocessing); otherwise NT products are issued.
+        """
+        if self._cache is None:
+            raise RuntimeError("forward(cache=True) must run before backward_input")
+        backend = backend or GemmBackend()
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        for li in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[li]
+            entry = self._cache[li]
+            dtype = np.float64 if dtypes is None else dtypes[min(li, len(dtypes) - 1)]
+            _, act_deriv = _activation(layer.activation)
+            grad_resnet = np.zeros_like(entry["input"])
+            if layer.resnet:
+                if layer.weight.shape[1] == layer.weight.shape[0]:
+                    grad_resnet = grad
+                elif layer.weight.shape[1] == 2 * layer.weight.shape[0]:
+                    n_in = layer.weight.shape[0]
+                    grad_resnet = grad[..., :n_in] + grad[..., n_in:]
+            # d(out)/d(pre) expressed in terms of the activation output with the
+            # skip contribution removed.
+            act_out = entry["output"]
+            if layer.resnet:
+                if layer.weight.shape[1] == layer.weight.shape[0]:
+                    act_out = act_out - entry["input"]
+                elif layer.weight.shape[1] == 2 * layer.weight.shape[0]:
+                    act_out = act_out - np.concatenate([entry["input"], entry["input"]], axis=-1)
+            grad_pre = grad * act_deriv(act_out)
+            if backend.pretranspose:
+                grad = backend.matmul(grad_pre, layer.weight_t, dtype=dtype)
+            else:
+                grad = backend.matmul(grad_pre, layer.weight, dtype=dtype, transposed_b=True)
+            grad = grad + grad_resnet
+        return grad
+
+    # -- convenience -------------------------------------------------------------
+    def n_parameters(self) -> int:
+        return int(sum(l.weight.size + l.bias.size for l in self.layers))
+
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        return [tuple(l.weight.shape) for l in self.layers]

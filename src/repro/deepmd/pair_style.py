@@ -1,0 +1,72 @@
+"""The Deep Potential model exposed as an MD force field ("pair style").
+
+``pair_style deepmd`` is how LAMMPS users consume DeePMD-kit; this adapter
+plays the same role for :class:`repro.md.Simulation`, selecting the
+evaluation path (optimized kernels vs the framework baseline), the precision
+policy, the GEMM backend and optionally the compressed embedding tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.atoms import Atoms
+from ..md.box import Box
+from ..md.forcefields.base import ForceField, ForceResult
+from ..md.neighbor import NeighborData
+from ..nnframework.session import Session
+from .gemm import GemmBackend
+from .model import DeepPotential
+from .precision import DOUBLE, get_policy
+
+
+class DeepPotentialForceField(ForceField):
+    """Adapter from :class:`DeepPotential` to the MD engine force-field API."""
+
+    def __init__(
+        self,
+        model: DeepPotential,
+        precision=DOUBLE,
+        gemm_backend: GemmBackend | None = None,
+        compressed: bool = False,
+        use_framework: bool = False,
+        session: Session | None = None,
+    ) -> None:
+        self.model = model
+        self.precision = get_policy(precision)
+        self.backend = gemm_backend or GemmBackend()
+        self.compressed = bool(compressed)
+        self.use_framework = bool(use_framework)
+        self.session = session or Session()
+        self.cutoff = model.config.cutoff
+        self.n_evaluations = 0
+
+    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+        self.n_evaluations += 1
+        if self.use_framework:
+            output = self.model.evaluate_with_framework(atoms, box, neighbors, session=self.session)
+        else:
+            output = self.model.evaluate(
+                atoms,
+                box,
+                neighbors,
+                precision=self.precision,
+                backend=self.backend,
+                compressed=self.compressed,
+            )
+        return ForceResult(
+            energy=output.energy,
+            forces=output.forces,
+            per_atom_energy=output.per_atom_energy,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """A summary of the active configuration (useful in reports)."""
+        return {
+            "precision": self.precision.name,
+            "gemm": self.backend.kind,
+            "compressed": self.compressed,
+            "framework": self.use_framework,
+            "cutoff": self.cutoff,
+            "n_parameters": self.model.n_parameters(),
+        }

@@ -1,0 +1,94 @@
+"""Mixed-precision policies (Table II of the paper).
+
+Three modes are evaluated in the paper:
+
+* ``Double``   — everything in fp64 (the baseline),
+* ``MIX-fp32`` — embedding-net and fitting-net calculations in fp32, the rest
+  (environment matrix, descriptor contraction, accumulation) in fp64,
+* ``MIX-fp16`` — additionally the GEMM of the *first* fitting-net layer in
+  fp16.
+
+A :class:`PrecisionPolicy` maps those choices onto per-layer compute dtypes
+for the fast kernels; the accuracy experiments re-evaluate the same trained
+model under each policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Per-component compute precisions.
+
+    Attributes
+    ----------
+    name:
+        policy identifier (``double``, ``mix-fp32``, ``mix-fp16``).
+    env_dtype:
+        precision of the environment matrix and descriptor contraction.
+    embedding_dtype:
+        precision of the embedding-net layers.
+    fitting_dtype:
+        precision of fitting-net layers after the first.
+    fitting_first_layer_dtype:
+        precision of the first fitting-net GEMM (fp16 in MIX-fp16).
+    """
+
+    name: str
+    env_dtype: type = np.float64
+    embedding_dtype: type = np.float64
+    fitting_dtype: type = np.float64
+    fitting_first_layer_dtype: type | None = None
+
+    def embedding_dtypes(self, n_layers: int) -> list:
+        return [self.embedding_dtype] * n_layers
+
+    def fitting_dtypes(self, n_layers: int) -> list:
+        first = self.fitting_first_layer_dtype or self.fitting_dtype
+        if n_layers == 0:
+            return []
+        return [first] + [self.fitting_dtype] * (n_layers - 1)
+
+    @property
+    def uses_fp16(self) -> bool:
+        return np.dtype(self.fitting_first_layer_dtype or self.fitting_dtype) == np.dtype(np.float16)
+
+    @property
+    def uses_fp32(self) -> bool:
+        return np.dtype(self.embedding_dtype) == np.dtype(np.float32)
+
+
+DOUBLE = PrecisionPolicy("double")
+
+MIX_FP32 = PrecisionPolicy(
+    "mix-fp32",
+    env_dtype=np.float64,
+    embedding_dtype=np.float32,
+    fitting_dtype=np.float32,
+)
+
+MIX_FP16 = PrecisionPolicy(
+    "mix-fp16",
+    env_dtype=np.float64,
+    embedding_dtype=np.float32,
+    fitting_dtype=np.float32,
+    fitting_first_layer_dtype=np.float16,
+)
+
+POLICIES = {p.name: p for p in (DOUBLE, MIX_FP32, MIX_FP16)}
+
+
+def get_policy(name_or_policy) -> PrecisionPolicy:
+    """Resolve a policy from its name or pass an existing policy through."""
+    if isinstance(name_or_policy, PrecisionPolicy):
+        return name_or_policy
+    try:
+        return POLICIES[str(name_or_policy)]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown precision policy {name_or_policy!r}; available: {sorted(POLICIES)}"
+        ) from exc

@@ -1,0 +1,65 @@
+"""Smooth switching function of the DeepPot-SE descriptor.
+
+The "smooth edition" Deep Potential weights every neighbour by
+
+    s(r) = 1/r                               for r <  r_cs
+    s(r) = 1/r * [x^3 (-6x^2 + 15x - 10) + 1] for r_cs <= r < r_c,  x = (r-r_cs)/(r_c-r_cs)
+    s(r) = 0                                  for r >= r_c
+
+which decays smoothly (value and derivative) to zero at the cutoff, making the
+descriptor and therefore energies/forces continuous as atoms cross r_c.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _taper(x: np.ndarray) -> np.ndarray:
+    """Quintic taper t(x) with t(0)=1, t(1)=0, t'(0)=t'(1)=0."""
+    return x * x * x * (-6.0 * x * x + 15.0 * x - 10.0) + 1.0
+
+
+def _taper_derivative(x: np.ndarray) -> np.ndarray:
+    return x * x * (-30.0 * x * x + 60.0 * x - 30.0)
+
+
+def switching_function(r: np.ndarray, cutoff: float, cutoff_smooth: float) -> np.ndarray:
+    """s(r) for distances ``r`` (array), vectorized.
+
+    ``cutoff_smooth`` (r_cs) is where the taper starts; ``cutoff`` (r_c) is
+    where the weight reaches zero.  Entries with ``r == 0`` (padding) give 0.
+    """
+    if not 0.0 < cutoff_smooth < cutoff:
+        raise ValueError("require 0 < cutoff_smooth < cutoff")
+    r = np.asarray(r, dtype=np.float64)
+    s = np.zeros_like(r)
+    safe_r = np.where(r > 0.0, r, 1.0)
+
+    inner = (r > 0.0) & (r < cutoff_smooth)
+    s = np.where(inner, 1.0 / safe_r, s)
+
+    middle = (r >= cutoff_smooth) & (r < cutoff)
+    x = (r - cutoff_smooth) / (cutoff - cutoff_smooth)
+    s = np.where(middle, _taper(np.clip(x, 0.0, 1.0)) / safe_r, s)
+    return s
+
+
+def switching_derivative(r: np.ndarray, cutoff: float, cutoff_smooth: float) -> np.ndarray:
+    """ds/dr for distances ``r`` (array), vectorized."""
+    if not 0.0 < cutoff_smooth < cutoff:
+        raise ValueError("require 0 < cutoff_smooth < cutoff")
+    r = np.asarray(r, dtype=np.float64)
+    ds = np.zeros_like(r)
+    safe_r = np.where(r > 0.0, r, 1.0)
+
+    inner = (r > 0.0) & (r < cutoff_smooth)
+    ds = np.where(inner, -1.0 / (safe_r * safe_r), ds)
+
+    middle = (r >= cutoff_smooth) & (r < cutoff)
+    width = cutoff - cutoff_smooth
+    x = np.clip((r - cutoff_smooth) / width, 0.0, 1.0)
+    t = _taper(x)
+    dt = _taper_derivative(x) / width
+    ds = np.where(middle, dt / safe_r - t / (safe_r * safe_r), ds)
+    return ds

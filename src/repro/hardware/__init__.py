@@ -1,0 +1,36 @@
+"""Analytic model of the Fugaku supercomputer.
+
+None of the paper's hardware (A64FX nodes, the TofuD 6D torus, uTofu RDMA,
+the NIC registration cache) is available in this environment, so the machine
+is modelled: the classes here turn *counts* produced by the real algorithms
+(message counts and sizes from the actual domain decomposition, FLOP counts
+from the actual model configuration, memory-copy volumes from the actual atom
+layout) into *time*, using constants taken from the paper and from public
+A64FX/TofuD documentation.
+
+The model is deliberately simple — latency/bandwidth (alpha-beta) costs with
+explicit concurrency limits (6 TNIs per node, 12 threads per CMG) — because
+that is the level of fidelity the paper's own analysis uses (hop latency,
+per-message counts, NoC bandwidth, NIC cache capacity).
+"""
+
+from .specs import A64FXSpec, TofuDSpec, NICCacheSpec, FugakuSpec, FUGAKU
+from .a64fx import A64FXNode
+from .noc import NocModel
+from .tofu import TofuDNetwork, TorusCoordinates
+from .tni import TNIScheduler
+from .nic_cache import NICRegistrationCache
+
+__all__ = [
+    "A64FXSpec",
+    "TofuDSpec",
+    "NICCacheSpec",
+    "FugakuSpec",
+    "FUGAKU",
+    "A64FXNode",
+    "NocModel",
+    "TofuDNetwork",
+    "TorusCoordinates",
+    "TNIScheduler",
+    "NICRegistrationCache",
+]

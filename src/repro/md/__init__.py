@@ -1,0 +1,62 @@
+"""A self-contained molecular-dynamics engine (the "LAMMPS" substrate).
+
+The paper's optimizations act on the structure of a LAMMPS MD step: neighbour
+list construction, ghost-region communication, the pair (force) phase, and
+integration.  This package implements that structure in NumPy:
+
+* :class:`Box` — orthorhombic periodic simulation cell,
+* :class:`Atoms` — structure-of-arrays atom container,
+* :mod:`lattice <repro.md.lattice>` / :mod:`water <repro.md.water>` — builders
+  for the copper and water benchmark systems,
+* :class:`NeighborList` — cell-list neighbour search with skin and re-build
+  cadence (the paper rebuilds every 50 steps with a 2 A skin),
+* :mod:`forcefields <repro.md.forcefields>` — Lennard-Jones, Morse and
+  Gupta/EAM-like copper references and a flexible SPC-like water reference
+  (the "pseudo-AIMD" data generators),
+* :class:`VelocityVerlet` + thermostats — time integration,
+* :class:`Simulation` — the run loop with LAMMPS-style per-phase timing,
+* :func:`radial_distribution_function` — the analysis used by Fig. 6.
+"""
+
+from .box import Box
+from .atoms import Atoms
+from .lattice import fcc_lattice, copper_system
+from .water import water_system, WaterTopology
+from .neighbor import NeighborList, NeighborData
+from .integrators import VelocityVerlet
+from .thermostats import LangevinThermostat, BerendsenThermostat, VelocityRescale
+from .simulation import Simulation, SimulationReport
+from .rdf import radial_distribution_function, partial_rdf
+from .forcefields import (
+    ForceField,
+    ForceResult,
+    LennardJones,
+    MorsePotential,
+    GuptaPotential,
+    WaterReference,
+)
+
+__all__ = [
+    "Box",
+    "Atoms",
+    "fcc_lattice",
+    "copper_system",
+    "water_system",
+    "WaterTopology",
+    "NeighborList",
+    "NeighborData",
+    "VelocityVerlet",
+    "LangevinThermostat",
+    "BerendsenThermostat",
+    "VelocityRescale",
+    "Simulation",
+    "SimulationReport",
+    "radial_distribution_function",
+    "partial_rdf",
+    "ForceField",
+    "ForceResult",
+    "LennardJones",
+    "MorsePotential",
+    "GuptaPotential",
+    "WaterReference",
+]

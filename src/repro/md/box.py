@@ -1,0 +1,88 @@
+"""Orthorhombic periodic simulation cell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """An orthorhombic box with optional periodicity per axis.
+
+    Lengths are in angstrom.  The box origin is at zero: fractional
+    coordinates are ``positions / lengths``.
+    """
+
+    lengths: np.ndarray
+    periodic: tuple[bool, bool, bool] = (True, True, True)
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=np.float64).reshape(3)
+        if np.any(lengths <= 0.0):
+            raise ValueError("box lengths must be positive")
+        object.__setattr__(self, "lengths", lengths)
+        object.__setattr__(self, "periodic", tuple(bool(p) for p in self.periodic))
+
+    @staticmethod
+    def cubic(length: float, periodic: bool = True) -> "Box":
+        return Box(np.full(3, float(length)), (periodic,) * 3)
+
+    @staticmethod
+    def orthorhombic(lx: float, ly: float, lz: float) -> "Box":
+        return Box(np.array([lx, ly, lz], dtype=np.float64))
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.lengths))
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Wrap positions back into the primary cell (periodic axes only)."""
+        positions = np.asarray(positions, dtype=np.float64)
+        wrapped = positions.copy()
+        for axis in range(3):
+            if self.periodic[axis]:
+                length = self.lengths[axis]
+                values = np.mod(wrapped[..., axis], length)
+                # np.mod can return exactly `length` for tiny negative inputs;
+                # fold that edge case back to 0 so results stay in [0, length).
+                values = np.where(values >= length, values - length, values)
+                wrapped[..., axis] = values
+        return wrapped
+
+    def minimum_image(self, displacements: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention to displacement vectors."""
+        displacements = np.asarray(displacements, dtype=np.float64)
+        result = displacements.copy()
+        for axis in range(3):
+            if self.periodic[axis]:
+                length = self.lengths[axis]
+                result[..., axis] -= length * np.round(result[..., axis] / length)
+        return result
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Minimum-image distances between position arrays ``a`` and ``b``."""
+        delta = self.minimum_image(np.asarray(a) - np.asarray(b))
+        return np.linalg.norm(delta, axis=-1)
+
+    def fractional(self, positions: np.ndarray) -> np.ndarray:
+        return np.asarray(positions, dtype=np.float64) / self.lengths
+
+    def cartesian(self, fractional: np.ndarray) -> np.ndarray:
+        return np.asarray(fractional, dtype=np.float64) * self.lengths
+
+    def replicate(self, nx: int, ny: int, nz: int) -> "Box":
+        """Return the box of an ``nx x ny x nz`` supercell."""
+        if min(nx, ny, nz) < 1:
+            raise ValueError("replication factors must be >= 1")
+        return Box(self.lengths * np.array([nx, ny, nz]), self.periodic)
+
+    def max_cutoff(self) -> float:
+        """Largest cutoff compatible with the minimum-image convention."""
+        periodic_lengths = [
+            self.lengths[i] for i in range(3) if self.periodic[i]
+        ]
+        if not periodic_lengths:
+            return np.inf
+        return 0.5 * float(min(periodic_lengths))

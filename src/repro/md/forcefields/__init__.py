@@ -1,0 +1,26 @@
+"""Force fields for the MD engine.
+
+The analytic potentials below serve two roles:
+
+* as the *pseudo-AIMD reference* generating training/validation data for the
+  Deep Potential model (the paper trains on DFT data we cannot run here), and
+* as classical baselines against which the NNMD cost structure is contrasted.
+
+All force fields implement :class:`ForceField` and return a
+:class:`ForceResult` holding total energy, per-atom energies, and forces.
+"""
+
+from .base import ForceField, ForceResult
+from .lj import LennardJones
+from .morse import MorsePotential
+from .gupta import GuptaPotential
+from .water import WaterReference
+
+__all__ = [
+    "ForceField",
+    "ForceResult",
+    "LennardJones",
+    "MorsePotential",
+    "GuptaPotential",
+    "WaterReference",
+]

@@ -1,0 +1,96 @@
+"""Force-field interface shared by reference potentials and the DP model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..atoms import Atoms
+from ..box import Box
+from ..neighbor import NeighborData
+
+
+@dataclass
+class ForceResult:
+    """The output of one force evaluation.
+
+    Attributes
+    ----------
+    energy:
+        total potential energy in eV.
+    forces:
+        ``(n, 3)`` forces in eV/A.
+    per_atom_energy:
+        ``(n,)`` atomic energy decomposition (sums to ``energy``).
+    virial:
+        optional 3x3 virial tensor (eV).
+    """
+
+    energy: float
+    forces: np.ndarray
+    per_atom_energy: np.ndarray | None = None
+    virial: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.forces = np.asarray(self.forces, dtype=np.float64)
+        if self.per_atom_energy is not None:
+            self.per_atom_energy = np.asarray(self.per_atom_energy, dtype=np.float64)
+
+
+class ForceField:
+    """Base class: a force field maps (atoms, box, neighbours) to forces."""
+
+    #: interaction cutoff in angstrom; ``None`` means the force field decides.
+    cutoff: float = 0.0
+
+    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+        raise NotImplementedError
+
+    def energy(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> float:
+        return self.compute(atoms, box, neighbors).energy
+
+    # -- finite-difference helper (used by the test-suite) -------------------
+    def numerical_forces(
+        self,
+        atoms: Atoms,
+        box: Box,
+        neighbors_builder,
+        delta: float = 1.0e-5,
+    ) -> np.ndarray:
+        """Central-difference forces; ``neighbors_builder(atoms)`` must return
+        a fresh :class:`NeighborData` for perturbed coordinates."""
+        base = atoms.copy()
+        forces = np.zeros_like(base.positions)
+        for i in range(len(base)):
+            for axis in range(3):
+                for sign, slot in ((+1.0, 0), (-1.0, 1)):
+                    trial = base.copy()
+                    trial.positions[i, axis] += sign * delta
+                    trial.positions = box.wrap(trial.positions)
+                    nd = neighbors_builder(trial)
+                    energy = self.compute(trial, box, nd).energy
+                    if slot == 0:
+                        e_plus = energy
+                    else:
+                        e_minus = energy
+                forces[i, axis] = -(e_plus - e_minus) / (2.0 * delta)
+        return forces
+
+
+def accumulate_pair_forces(
+    n_atoms: int,
+    pairs: np.ndarray,
+    pair_forces: np.ndarray,
+) -> np.ndarray:
+    """Scatter per-pair forces (acting on atom i of each i<j pair) onto atoms.
+
+    ``pair_forces[k]`` is the force on ``pairs[k, 0]`` due to ``pairs[k, 1]``;
+    Newton's third law applies the opposite force to the partner.
+    """
+    forces = np.zeros((n_atoms, 3))
+    if len(pairs) == 0:
+        return forces
+    np.add.at(forces, pairs[:, 0], pair_forces)
+    np.add.at(forces, pairs[:, 1], -pair_forces)
+    return forces

@@ -1,0 +1,61 @@
+"""Lennard-Jones 12-6 potential (the classical-force-field baseline).
+
+The paper contrasts NNMD with classical force fields "like Lennard-Jones";
+this implementation provides that baseline, with the standard energy shift at
+the cutoff so the potential is continuous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..atoms import Atoms
+from ..box import Box
+from ..neighbor import NeighborData
+from .base import ForceField, ForceResult, accumulate_pair_forces
+
+
+class LennardJones(ForceField):
+    """Single-species LJ potential: ``4 eps [(sigma/r)^12 - (sigma/r)^6]``."""
+
+    def __init__(self, epsilon: float, sigma: float, cutoff: float, shift: bool = True) -> None:
+        if epsilon <= 0 or sigma <= 0 or cutoff <= 0:
+            raise ValueError("epsilon, sigma and cutoff must be positive")
+        self.epsilon = float(epsilon)
+        self.sigma = float(sigma)
+        self.cutoff = float(cutoff)
+        self.shift = bool(shift)
+        sr6 = (self.sigma / self.cutoff) ** 6
+        self._e_cut = 4.0 * self.epsilon * (sr6 * sr6 - sr6) if shift else 0.0
+
+    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+        n = len(atoms)
+        pairs = neighbors.pairs
+        forces = np.zeros((n, 3))
+        per_atom = np.zeros(n)
+        if len(pairs) == 0:
+            return ForceResult(0.0, forces, per_atom)
+
+        delta = atoms.positions[pairs[:, 0]] - atoms.positions[pairs[:, 1]]
+        delta = box.minimum_image(delta)
+        r2 = np.einsum("ij,ij->i", delta, delta)
+        mask = r2 <= self.cutoff * self.cutoff
+        pairs = pairs[mask]
+        delta = delta[mask]
+        r2 = r2[mask]
+        if len(pairs) == 0:
+            return ForceResult(0.0, forces, per_atom)
+
+        inv_r2 = 1.0 / r2
+        sr2 = self.sigma * self.sigma * inv_r2
+        sr6 = sr2 * sr2 * sr2
+        sr12 = sr6 * sr6
+        pair_energy = 4.0 * self.epsilon * (sr12 - sr6) - self._e_cut
+        # dE/dr * (1/r) so the force vector is coeff * delta
+        coeff = 24.0 * self.epsilon * (2.0 * sr12 - sr6) * inv_r2
+        pair_forces = coeff[:, None] * delta
+
+        forces = accumulate_pair_forces(n, pairs, pair_forces)
+        np.add.at(per_atom, pairs[:, 0], 0.5 * pair_energy)
+        np.add.at(per_atom, pairs[:, 1], 0.5 * pair_energy)
+        return ForceResult(float(pair_energy.sum()), forces, per_atom)

@@ -1,0 +1,70 @@
+"""Morse pair potential parameterized for copper.
+
+Used as a smooth pseudo-AIMD reference for the copper benchmark (the paper's
+copper model is a Deep Potential trained on DFT; any smooth metallic-like
+reference exercises the same training/inference code paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..atoms import Atoms
+from ..box import Box
+from ..neighbor import NeighborData
+from .base import ForceField, ForceResult, accumulate_pair_forces
+
+#: Literature Morse parameters for copper (Girifalco & Weizer, 1959).
+CU_MORSE = {"d": 0.3429, "alpha": 1.3588, "r0": 2.866}
+
+
+class MorsePotential(ForceField):
+    """``E(r) = d [exp(-2 a (r - r0)) - 2 exp(-a (r - r0))]`` with a shift."""
+
+    def __init__(
+        self,
+        d: float = CU_MORSE["d"],
+        alpha: float = CU_MORSE["alpha"],
+        r0: float = CU_MORSE["r0"],
+        cutoff: float = 8.0,
+        shift: bool = True,
+    ) -> None:
+        if d <= 0 or alpha <= 0 or r0 <= 0 or cutoff <= 0:
+            raise ValueError("Morse parameters must be positive")
+        self.d = float(d)
+        self.alpha = float(alpha)
+        self.r0 = float(r0)
+        self.cutoff = float(cutoff)
+        self._e_cut = self._pair_energy(np.array([cutoff]))[0] if shift else 0.0
+
+    def _pair_energy(self, r: np.ndarray) -> np.ndarray:
+        x = np.exp(-self.alpha * (r - self.r0))
+        return self.d * (x * x - 2.0 * x)
+
+    def _pair_energy_force(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Returns (energy, -dE/dr)."""
+        x = np.exp(-self.alpha * (r - self.r0))
+        energy = self.d * (x * x - 2.0 * x) - self._e_cut
+        dedr = self.d * (-2.0 * self.alpha * x * x + 2.0 * self.alpha * x)
+        return energy, -dedr
+
+    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+        n = len(atoms)
+        pairs = neighbors.pairs
+        forces = np.zeros((n, 3))
+        per_atom = np.zeros(n)
+        if len(pairs) == 0:
+            return ForceResult(0.0, forces, per_atom)
+        delta = atoms.positions[pairs[:, 0]] - atoms.positions[pairs[:, 1]]
+        delta = box.minimum_image(delta)
+        r = np.linalg.norm(delta, axis=1)
+        mask = r <= self.cutoff
+        pairs, delta, r = pairs[mask], delta[mask], r[mask]
+        if len(pairs) == 0:
+            return ForceResult(0.0, forces, per_atom)
+        energy, f_mag = self._pair_energy_force(r)
+        pair_forces = (f_mag / r)[:, None] * delta
+        forces = accumulate_pair_forces(n, pairs, pair_forces)
+        np.add.at(per_atom, pairs[:, 0], 0.5 * energy)
+        np.add.at(per_atom, pairs[:, 1], 0.5 * energy)
+        return ForceResult(float(energy.sum()), forces, per_atom)

@@ -1,0 +1,44 @@
+"""Time integration (velocity Verlet)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import ACC_CONV
+from .atoms import Atoms
+from .box import Box
+
+
+class VelocityVerlet:
+    """Velocity-Verlet integrator in A / fs / eV / amu units.
+
+    The two half-steps are exposed separately (``first_half`` /
+    ``second_half``) because the MD loop interleaves force evaluation and, in
+    the parallel engine, ghost-force reduction between them — the same
+    structure LAMMPS uses.
+    """
+
+    def __init__(self, timestep_fs: float) -> None:
+        if timestep_fs <= 0:
+            raise ValueError("timestep must be positive")
+        self.dt = float(timestep_fs)
+
+    def first_half(self, atoms: Atoms, box: Box) -> None:
+        """Advance velocities half a step, positions a full step."""
+        acc = ACC_CONV * atoms.forces / atoms.masses[:, None]
+        atoms.velocities += 0.5 * self.dt * acc
+        atoms.positions += self.dt * atoms.velocities
+        atoms.positions = box.wrap(atoms.positions)
+
+    def second_half(self, atoms: Atoms, box: Box) -> None:
+        """Advance velocities the remaining half step with the new forces."""
+        acc = ACC_CONV * atoms.forces / atoms.masses[:, None]
+        atoms.velocities += 0.5 * self.dt * acc
+
+    def step(self, atoms: Atoms, box: Box, force_callback) -> float:
+        """One full step; ``force_callback(atoms)`` must refresh ``atoms.forces``
+        and return the potential energy."""
+        self.first_half(atoms, box)
+        energy = force_callback(atoms)
+        self.second_half(atoms, box)
+        return energy

@@ -1,0 +1,87 @@
+"""Thermostats for NVT sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import ACC_CONV, KB, maxwell_boltzmann_sigma, temperature as instantaneous_temperature
+from ..utils.rng import default_rng
+from .atoms import Atoms
+
+
+class Thermostat:
+    """Interface: mutate velocities in place once per step."""
+
+    def apply(self, atoms: Atoms, timestep_fs: float) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LangevinThermostat(Thermostat):
+    """Langevin dynamics via the BAOAB-like velocity update.
+
+    Velocities are relaxed towards the target temperature with a friction time
+    ``damping_fs`` and re-injected with the matching random kicks; this is the
+    robust choice for equilibrating a freshly built water box.
+    """
+
+    def __init__(self, temperature_k: float, damping_fs: float = 100.0, rng=None) -> None:
+        if temperature_k < 0:
+            raise ValueError("temperature must be non-negative")
+        if damping_fs <= 0:
+            raise ValueError("damping time must be positive")
+        self.temperature = float(temperature_k)
+        self.damping = float(damping_fs)
+        self.rng = default_rng(rng)
+
+    def apply(self, atoms: Atoms, timestep_fs: float) -> None:
+        gamma = 1.0 / self.damping
+        c1 = np.exp(-gamma * timestep_fs)
+        sigma = np.array(
+            [maxwell_boltzmann_sigma(m, self.temperature) for m in atoms.masses]
+        )
+        noise = self.rng.normal(size=atoms.velocities.shape)
+        atoms.velocities *= c1
+        atoms.velocities += np.sqrt(1.0 - c1 * c1) * sigma[:, None] * noise
+
+
+class BerendsenThermostat(Thermostat):
+    """Berendsen weak-coupling rescaling thermostat."""
+
+    def __init__(self, temperature_k: float, coupling_fs: float = 100.0) -> None:
+        if temperature_k < 0:
+            raise ValueError("temperature must be non-negative")
+        if coupling_fs <= 0:
+            raise ValueError("coupling time must be positive")
+        self.temperature = float(temperature_k)
+        self.coupling = float(coupling_fs)
+
+    def apply(self, atoms: Atoms, timestep_fs: float) -> None:
+        current = instantaneous_temperature(atoms.masses, atoms.velocities)
+        if current <= 0.0:
+            return
+        factor = np.sqrt(
+            1.0 + (timestep_fs / self.coupling) * (self.temperature / current - 1.0)
+        )
+        atoms.velocities *= factor
+
+
+class VelocityRescale(Thermostat):
+    """Hard velocity rescaling to the exact target temperature every N steps."""
+
+    def __init__(self, temperature_k: float, every: int = 1) -> None:
+        if temperature_k < 0:
+            raise ValueError("temperature must be non-negative")
+        if every < 1:
+            raise ValueError("rescale interval must be >= 1")
+        self.temperature = float(temperature_k)
+        self.every = int(every)
+        self._counter = 0
+
+    def apply(self, atoms: Atoms, timestep_fs: float) -> None:
+        self._counter += 1
+        if self._counter % self.every:
+            return
+        current = instantaneous_temperature(atoms.masses, atoms.velocities)
+        if current <= 0.0:
+            return
+        atoms.velocities *= np.sqrt(self.temperature / current)

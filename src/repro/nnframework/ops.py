@@ -1,0 +1,296 @@
+"""Differentiable operations for the mini framework.
+
+Each op computes its result eagerly with NumPy and, if gradients are enabled
+and any input requires them, attaches a backward closure that accumulates
+gradients into the inputs.  The set of ops matches what the Deep Potential
+model (embedding net, descriptor contraction, fitting net, loss) needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, grad_enabled
+
+
+def _make(data, parents, backward) -> Tensor:
+    requires = grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    out = Tensor(data, requires_grad=True, _parents=tuple(parents), _backward=None)
+
+    def _backward(grad):
+        backward(grad)
+
+    out._backward = _backward
+    return out
+
+
+# --------------------------------------------------------------------------
+# elementwise arithmetic
+# --------------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data + b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad)
+        if b.requires_grad:
+            b.accumulate_grad(grad)
+
+    return _make(data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data - b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad)
+        if b.requires_grad:
+            b.accumulate_grad(-grad)
+
+    return _make(data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data * b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * b.data)
+        if b.requires_grad:
+            b.accumulate_grad(grad * a.data)
+
+    return _make(data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data / b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad / b.data)
+        if b.requires_grad:
+            b.accumulate_grad(-grad * a.data / (b.data * b.data))
+
+    return _make(data, (a, b), backward)
+
+
+def power(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    data = a.data ** exponent
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return _make(data, (a,), backward)
+
+
+def square(a) -> Tensor:
+    return power(a, 2.0)
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.exp(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * data)
+
+    return _make(data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.log(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad / a.data)
+
+    return _make(data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    return power(a, 0.5)
+
+
+# --------------------------------------------------------------------------
+# activations
+# --------------------------------------------------------------------------
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * (1.0 - data * data))
+
+    return _make(data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * data * (1.0 - data))
+
+    return _make(data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad * (a.data > 0.0))
+
+    return _make(data, (a,), backward)
+
+
+def softplus(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.log1p(np.exp(-np.abs(a.data))) + np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad / (1.0 + np.exp(-a.data)))
+
+    return _make(data, (a,), backward)
+
+
+# --------------------------------------------------------------------------
+# linear algebra and shape manipulation
+# --------------------------------------------------------------------------
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data @ b.data
+
+    def backward(grad):
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                a.accumulate_grad(np.outer(grad, b.data) if a.data.ndim == 2 else grad * b.data)
+            else:
+                a.accumulate_grad(grad @ np.swapaxes(b.data, -1, -2))
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                b.accumulate_grad(np.outer(a.data, grad) if b.data.ndim == 2 else grad * a.data)
+            else:
+                b.accumulate_grad(np.swapaxes(a.data, -1, -2) @ grad)
+
+    return _make(data, (a, b), backward)
+
+
+def transpose(a, axes=None) -> Tensor:
+    a = as_tensor(a)
+    data = np.transpose(a.data, axes)
+
+    def backward(grad):
+        if a.requires_grad:
+            if axes is None:
+                a.accumulate_grad(np.transpose(grad))
+            else:
+                inverse = np.argsort(axes)
+                a.accumulate_grad(np.transpose(grad, inverse))
+
+    return _make(data, (a,), backward)
+
+
+def reshape(a, shape) -> Tensor:
+    a = as_tensor(a)
+    original = a.data.shape
+    data = a.data.reshape(shape)
+
+    def backward(grad):
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(original))
+
+    return _make(data, (a,), backward)
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t.accumulate_grad(grad[tuple(index)])
+
+    return _make(data, tuple(tensors), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = as_tensor(a)
+    data = a.data[index]
+
+    def backward(grad):
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, grad)
+            a.accumulate_grad(full)
+
+    return _make(data, (a,), backward)
+
+
+# --------------------------------------------------------------------------
+# reductions and losses
+# --------------------------------------------------------------------------
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors np.sum
+    a = as_tensor(a)
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        if a.requires_grad:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            a.accumulate_grad(np.broadcast_to(g, a.data.shape))
+
+    return _make(data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.data.shape[ax]
+
+    def backward(grad):
+        if a.requires_grad:
+            g = np.asarray(grad) / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            a.accumulate_grad(np.broadcast_to(g, a.data.shape))
+
+    return _make(data, (a,), backward)
+
+
+def mse_loss(prediction, target) -> Tensor:
+    """Mean squared error, the loss used by the Deep Potential trainer."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return mean(square(sub(prediction, target)))

@@ -1,0 +1,236 @@
+"""Eager tensors with reverse-mode automatic differentiation.
+
+The implementation is a classic tape: every operation creates a new
+:class:`Tensor` holding references to its parents and a closure that
+accumulates gradients into them.  ``Tensor.backward()`` topologically sorts the
+graph reachable from the output and applies the closures in reverse order.
+
+Only the features required by the Deep Potential model and its trainer are
+implemented; the point is to have a *real* framework with the same structural
+costs (graph bookkeeping, per-op Python dispatch, full-precision temporaries)
+that the paper eliminates in its optimized code path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def grad_enabled() -> bool:
+    return _GRAD_ENABLED[-1]
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def parameter(data, name: str | None = None) -> "Tensor":
+        """A trainable leaf tensor."""
+        return Tensor(data, requires_grad=True, name=name)
+
+    @staticmethod
+    def constant(data, name: str | None = None) -> "Tensor":
+        return Tensor(data, requires_grad=False, name=name)
+
+    # -- shape helpers -------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad = ", grad" if self.requires_grad else ""
+        name = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad}{name})"
+
+    # -- autodiff ------------------------------------------------------------
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(t: Tensor) -> None:
+            stack = [(t, iter(t._parents))]
+            if id(t) in visited:
+                return
+            visited.add(id(t))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for parent in it:
+                    if id(parent) not in visited:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(node)
+                    stack.pop()
+
+        visit(self)
+        self.accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- operator sugar (delegates to ops to avoid circular import) ----------
+    def _ops(self):
+        from . import ops
+
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    def __radd__(self, other):
+        return self._ops().add(other, self)
+
+    def __sub__(self, other):
+        return self._ops().sub(self, other)
+
+    def __rsub__(self, other):
+        return self._ops().sub(other, self)
+
+    def __mul__(self, other):
+        return self._ops().mul(self, other)
+
+    def __rmul__(self, other):
+        return self._ops().mul(other, self)
+
+    def __truediv__(self, other):
+        return self._ops().div(self, other)
+
+    def __rtruediv__(self, other):
+        return self._ops().div(other, self)
+
+    def __neg__(self):
+        return self._ops().mul(self, -1.0)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __pow__(self, exponent):
+        return self._ops().power(self, exponent)
+
+    def __getitem__(self, index):
+        return self._ops().getitem(self, index)
+
+    def reshape(self, *shape):
+        return self._ops().reshape(self, shape if len(shape) > 1 else shape[0])
+
+    def transpose(self, *axes):
+        return self._ops().transpose(self, axes if axes else None)
+
+    @property
+    def T(self):
+        return self._ops().transpose(self, None)
+
+    def sum(self, axis=None, keepdims=False):
+        return self._ops().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._ops().mean(self, axis=axis, keepdims=keepdims)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` (Tensor, array, scalar) into a Tensor leaf."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum along broadcast (size-1) dimensions.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def collect_parameters(objects: Iterable) -> list[Tensor]:
+    """Gather unique trainable tensors from a collection of layers/tensors."""
+    seen: dict[int, Tensor] = {}
+    for obj in objects:
+        params: Iterable[Tensor]
+        if isinstance(obj, Tensor):
+            params = [obj]
+        elif hasattr(obj, "parameters"):
+            params = obj.parameters()
+        else:
+            raise TypeError(f"cannot collect parameters from {type(obj)!r}")
+        for p in params:
+            if p.requires_grad:
+                seen.setdefault(id(p), p)
+    return list(seen.values())

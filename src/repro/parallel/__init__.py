@@ -1,0 +1,70 @@
+"""Parallelization layer: topology, decomposition, ghost regions, schemes.
+
+This package reproduces the *structure* of the paper's parallel runtime:
+
+* :mod:`topology` — how MPI ranks map onto nodes, NUMA domains and the
+  logical 3D torus,
+* :mod:`decomposition` — LAMMPS-style spatial domain decomposition and atom
+  assignment (used both for communication plans and load-balance statistics),
+* :mod:`ghost` — ghost-region geometry (which ranks/nodes need which slabs,
+  multi-layer communication when the sub-box is smaller than the cutoff) and
+  the ghost-count formulas of §III-C,
+* :mod:`schemes` — the communication schemes compared in Fig. 7: the LAMMPS
+  3-stage pattern, the p2p pattern, and the node-based parallelization scheme
+  with 1/2/4 leaders, single-thread communication and the original-layout
+  (ref) variant,
+* :mod:`simcomm` — an in-process execution of the ghost exchange used to
+  verify that every scheme delivers exactly the atoms the receiving rank
+  needs,
+* :mod:`loadbalance` — the intra-node load balancer and its SDMR statistics
+  (Table III, Fig. 10),
+* :mod:`memory_pool` — RDMA registered-memory pooling (Fig. 8),
+* :mod:`threadpool` — OpenMP vs persistent-thread-pool overhead accounting.
+"""
+
+from .topology import RankTopology
+from .decomposition import SpatialDecomposition, DecompositionStats
+from .ghost import (
+    layers_for_cutoff,
+    ghost_count_original,
+    ghost_count_load_balanced,
+    ghost_shell_ranks,
+)
+from .messages import Message, CommRound, CommunicationPlan
+from .schemes import (
+    CommScheme,
+    ThreeStageScheme,
+    P2PScheme,
+    NodeBasedScheme,
+    build_scheme,
+    SCHEME_NAMES,
+)
+from .loadbalance import IntraNodeLoadBalancer, LoadBalanceStats, pair_time_model
+from .memory_pool import RdmaBufferManager
+from .threadpool import ThreadingModel
+from .simcomm import GhostExchangeSimulator
+
+__all__ = [
+    "RankTopology",
+    "SpatialDecomposition",
+    "DecompositionStats",
+    "layers_for_cutoff",
+    "ghost_count_original",
+    "ghost_count_load_balanced",
+    "ghost_shell_ranks",
+    "Message",
+    "CommRound",
+    "CommunicationPlan",
+    "CommScheme",
+    "ThreeStageScheme",
+    "P2PScheme",
+    "NodeBasedScheme",
+    "build_scheme",
+    "SCHEME_NAMES",
+    "IntraNodeLoadBalancer",
+    "LoadBalanceStats",
+    "pair_time_model",
+    "RdmaBufferManager",
+    "ThreadingModel",
+    "GhostExchangeSimulator",
+]

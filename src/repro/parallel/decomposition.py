@@ -1,0 +1,140 @@
+"""Spatial domain decomposition and atom assignment.
+
+The decomposition mirrors LAMMPS: the periodic box is cut into a regular grid
+of sub-boxes, one per MPI rank; each rank owns the atoms whose wrapped
+coordinates fall inside its sub-box.  The same machinery also bins atoms at
+node granularity (the *node-box* of the paper's intra-node load balance).
+
+Assignment is exact — the real atom coordinates of the benchmark systems are
+binned — which is what makes the load-balance statistics of Table III and
+Fig. 10 measured rather than modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..md.box import Box
+from .topology import RankTopology
+
+
+@dataclass
+class DecompositionStats:
+    """Per-rank (or per-node) atom-count statistics."""
+
+    counts: np.ndarray
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def minimum(self) -> int:
+        return int(self.counts.min()) if len(self.counts) else 0
+
+    @property
+    def maximum(self) -> int:
+        return int(self.counts.max()) if len(self.counts) else 0
+
+    @property
+    def mean(self) -> float:
+        return float(self.counts.mean()) if len(self.counts) else 0.0
+
+    @property
+    def sdmr_percent(self) -> float:
+        """Standard-deviation-to-mean ratio in percent (the paper's metric)."""
+        if len(self.counts) == 0 or self.counts.mean() == 0:
+            return 0.0
+        return float(self.counts.std() / self.counts.mean() * 100.0)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "min": self.minimum,
+            "avg": self.mean,
+            "max": self.maximum,
+            "sdmr%": self.sdmr_percent,
+        }
+
+
+@dataclass
+class SpatialDecomposition:
+    """A rank-grid decomposition of a periodic box."""
+
+    box: Box
+    topology: RankTopology
+
+    def __post_init__(self) -> None:
+        self.rank_dims = np.array(self.topology.rank_dims, dtype=np.int64)
+        self.node_dims = np.array(self.topology.node_dims, dtype=np.int64)
+        self.sub_box_lengths = self.box.lengths / self.rank_dims
+        self.node_box_lengths = self.box.lengths / self.node_dims
+
+    # -- geometric queries -----------------------------------------------------------
+    def rank_cell_of_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Rank-grid cell coordinates, shape ``(n, 3)``."""
+        wrapped = self.box.wrap(np.asarray(positions, dtype=np.float64))
+        frac = wrapped / self.box.lengths
+        cells = np.floor(frac * self.rank_dims).astype(np.int64)
+        return np.minimum(cells, self.rank_dims - 1)
+
+    def assign_to_ranks(self, positions: np.ndarray) -> np.ndarray:
+        """Owning rank index of every atom."""
+        cells = self.rank_cell_of_positions(positions)
+        ry, rz = int(self.rank_dims[1]), int(self.rank_dims[2])
+        return (cells[:, 0] * ry + cells[:, 1]) * rz + cells[:, 2]
+
+    def assign_to_nodes(self, positions: np.ndarray) -> np.ndarray:
+        """Owning node index of every atom."""
+        cells = self.rank_cell_of_positions(positions)
+        block = np.array(self.topology.rank_block, dtype=np.int64)
+        node_cells = cells // block
+        ny, nz = int(self.node_dims[1]), int(self.node_dims[2])
+        return (node_cells[:, 0] * ny + node_cells[:, 1]) * nz + node_cells[:, 2]
+
+    # -- statistics --------------------------------------------------------------------
+    def rank_counts(self, positions: np.ndarray) -> DecompositionStats:
+        ranks = self.assign_to_ranks(positions)
+        counts = np.bincount(ranks, minlength=self.topology.n_ranks)
+        return DecompositionStats(counts)
+
+    def node_counts(self, positions: np.ndarray) -> DecompositionStats:
+        nodes = self.assign_to_nodes(positions)
+        counts = np.bincount(nodes, minlength=self.topology.n_nodes)
+        return DecompositionStats(counts)
+
+    def rank_bounds(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) corner of a rank's sub-box."""
+        coord = np.array(self.topology.rank_coord(rank), dtype=np.float64)
+        lower = coord * self.sub_box_lengths
+        return lower, lower + self.sub_box_lengths
+
+    def atoms_per_core(self, n_atoms: int) -> float:
+        return n_atoms / self.topology.n_cores
+
+    def sub_box_in_cutoff_units(self, cutoff: float) -> np.ndarray:
+        """Sub-box side lengths expressed in units of the cutoff radius."""
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        return self.sub_box_lengths / cutoff
+
+
+def uniform_density_counts(
+    decomposition: SpatialDecomposition, n_atoms: int, rng=None, jitter: float = 0.0
+) -> np.ndarray:
+    """Expected per-rank counts for a uniform-density system (optionally jittered).
+
+    Useful for scales where materializing every atom would be wasteful; the
+    strong-scaling benchmarks use real coordinates instead.
+    """
+    base = n_atoms / decomposition.topology.n_ranks
+    counts = np.full(decomposition.topology.n_ranks, base)
+    if jitter > 0.0:
+        generator = np.random.default_rng(rng)
+        counts = generator.poisson(base, size=decomposition.topology.n_ranks).astype(float)
+    return counts

@@ -1,0 +1,335 @@
+"""Communication schemes for the ghost exchange (Fig. 7 of the paper).
+
+Three families of schemes are modelled, all driven by the *actual* geometry of
+the domain decomposition (sub-box sizes, ghost-shell layers, neighbour counts
+on the torus) and a uniform atom density:
+
+* :class:`ThreeStageScheme` — LAMMPS' staged exchange: for each dimension in
+  turn, exchange with the +/- neighbours as many times as there are ghost
+  layers.  Few, large, strictly sequential messages.
+* :class:`P2PScheme` — every rank sends directly to every rank whose sub-box
+  intersects its ghost shell (up to 124 neighbours at 0.5 r_cut sub-boxes).
+* :class:`NodeBasedScheme` — the paper's contribution: the ranks of a node
+  aggregate their atoms through shared memory (NoC), one/two/four leader
+  ranks exchange one message per neighbouring *node* over uTofu RDMA spread
+  across the 6 TNIs, and the received ghosts are scattered back to the
+  workers.  Variants: number of leaders, single-thread communication
+  (sg-lb-4l), and the original atom organization without the load-balance
+  broadcast (ref-4l).
+
+Every scheme produces a :class:`~repro.parallel.messages.CommunicationPlan`
+for a representative rank/node; the machine model prices the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..md.box import Box
+from .ghost import layers_for_cutoff, overlap_volume
+from .messages import CommRound, CommunicationPlan, Message
+from .topology import RankTopology
+
+#: Canonical scheme names used by the Fig. 7 benchmark (paper bar labels).
+SCHEME_NAMES = [
+    "baseline",      # MPI-based 3-stage pattern (LAMMPS default)
+    "3stage-utofu",  # 3-stage pattern over uTofu RDMA
+    "p2p-utofu",     # direct point-to-point over uTofu RDMA
+    "lb-1l",         # node-based, 1 leader
+    "lb-2l",         # node-based, 2 leaders
+    "lb-4l",         # node-based, 4 leaders (the shipped configuration)
+    "sg-lb-4l",      # node-based, 4 leaders, single communication thread each
+    "ref-4l",        # node-based, 4 leaders, original atom organization
+]
+
+
+@dataclass
+class ExchangeContext:
+    """Everything a scheme needs to know about the problem instance."""
+
+    topology: RankTopology
+    box: Box
+    cutoff: float
+    atom_density: float
+    bytes_per_atom: float = 48.0
+    bytes_per_force: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if self.atom_density <= 0:
+            raise ValueError("atom density must be positive")
+        self.rank_dims = np.array(self.topology.rank_dims, dtype=np.int64)
+        self.node_dims = np.array(self.topology.node_dims, dtype=np.int64)
+        self.sub_box_lengths = self.box.lengths / self.rank_dims
+        self.node_box_lengths = self.box.lengths / self.node_dims
+
+    @property
+    def atoms_per_rank(self) -> float:
+        return float(self.atom_density * np.prod(self.sub_box_lengths))
+
+    @property
+    def atoms_per_node(self) -> float:
+        return float(self.atom_density * np.prod(self.node_box_lengths))
+
+    @property
+    def reverse_ratio(self) -> float:
+        return self.bytes_per_force / self.bytes_per_atom
+
+    def local_bytes_per_rank(self) -> float:
+        return self.atoms_per_rank * self.bytes_per_atom
+
+    @classmethod
+    def from_subbox_factors(
+        cls,
+        topology: RankTopology,
+        cutoff: float,
+        subbox_factors: tuple[float, float, float],
+        atom_density: float,
+        **kwargs,
+    ) -> "ExchangeContext":
+        """Build a context whose sub-box sides are ``factors * cutoff``.
+
+        This is how the Fig. 7 configurations ([1,1,1] r_cut, [.5,.5,1] r_cut,
+        [.5,.5,.5] r_cut) are expressed.
+        """
+        factors = np.asarray(subbox_factors, dtype=np.float64)
+        if np.any(factors <= 0):
+            raise ValueError("sub-box factors must be positive")
+        lengths = factors * cutoff * np.array(topology.rank_dims)
+        return cls(topology=topology, box=Box(lengths), cutoff=cutoff, atom_density=atom_density, **kwargs)
+
+
+def _neighbor_offsets(layers: tuple[int, int, int], dims: np.ndarray) -> list[tuple[int, int, int]]:
+    """Neighbour offsets within the ghost shell.
+
+    Offsets that wrap onto the same physical domain are *not* merged: under
+    periodic boundaries the receiving domain needs the ghost slab of every
+    periodic image separately, so each offset is a distinct message (this is
+    also what LAMMPS does on small processor grids).  Offsets that wrap onto
+    the centre domain itself are its own periodic images and require no
+    communication.
+    """
+    lx, ly, lz = layers
+    offsets: list[tuple[int, int, int]] = []
+    for dx in range(-lx, lx + 1):
+        for dy in range(-ly, ly + 1):
+            for dz in range(-lz, lz + 1):
+                if dx == dy == dz == 0:
+                    continue
+                wrapped = (dx % dims[0], dy % dims[1], dz % dims[2])
+                if wrapped == (0, 0, 0):
+                    continue
+                offsets.append((dx, dy, dz))
+    return offsets
+
+
+def _node_hops(rank_offset: tuple[int, int, int], topology: RankTopology) -> int:
+    """Torus hop distance between the nodes of two ranks separated by ``rank_offset``.
+
+    The representative rank sits at the origin corner of its node block, which
+    is the common case; the resulting hop counts match the average to within
+    one hop.
+    """
+    block = topology.rank_block
+    node_dims = topology.node_dims
+    hops = 0
+    for off, b, d in zip(rank_offset, block, node_dims):
+        node_off = int(np.floor(off / b)) if off < 0 else int(off // b)
+        node_off = abs(node_off) % d
+        hops += min(node_off, d - node_off)
+    return hops
+
+
+class CommScheme:
+    """Base class: a scheme turns an :class:`ExchangeContext` into a plan."""
+
+    name: str = "abstract"
+
+    def plan(self, context: ExchangeContext) -> CommunicationPlan:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class ThreeStageScheme(CommScheme):
+    """LAMMPS' dimension-by-dimension staged exchange."""
+
+    use_rdma: bool = False
+    name: str = field(default="baseline", init=False)
+
+    def __post_init__(self) -> None:
+        self.name = "3stage-utofu" if self.use_rdma else "baseline"
+
+    def plan(self, context: ExchangeContext) -> CommunicationPlan:
+        layers = layers_for_cutoff(context.sub_box_lengths, context.cutoff)
+        plan = CommunicationPlan(scheme=self.name, use_rdma=self.use_rdma)
+        extended = context.sub_box_lengths.astype(float).copy()
+        block = context.topology.rank_block
+        for axis in range(3):
+            n_layers = layers[axis]
+            if n_layers == 0:
+                continue
+            cross_section = np.prod(np.delete(extended, axis))
+            slab_depth = min(context.cutoff, float(context.sub_box_lengths[axis]) * n_layers)
+            volume_per_direction = cross_section * slab_depth
+            bytes_per_round = (
+                volume_per_direction / n_layers * context.atom_density * context.bytes_per_atom
+            )
+            for layer in range(1, n_layers + 1):
+                messages = []
+                for direction in (+1, -1):
+                    # A first-layer neighbour along a dimension the node block
+                    # spans is on the same node for half the ranks; deeper
+                    # layers always leave the node.
+                    intra = layer == 1 and block[axis] > 1 and direction == +1
+                    messages.append(
+                        Message(
+                            n_bytes=bytes_per_round,
+                            hops=max(1, int(np.ceil(layer / block[axis]))),
+                            intra_node=intra,
+                        )
+                    )
+                # The two directions of one stage can overlap, but stages are
+                # strictly ordered, hence one round per (axis, layer).
+                plan.rounds.append(CommRound(messages=messages, engines=None, threads=None))
+            extended[axis] += 2.0 * context.cutoff
+        plan.registered_regions = 2 * sum(2 * l for l in layers)
+        plan.reverse_traffic_ratio = context.reverse_ratio
+        plan.ranks_sharing_network = context.topology.ranks_per_node
+        plan.notes = {"layers": layers, "pattern": "3-stage"}
+        return plan
+
+
+@dataclass
+class P2PScheme(CommScheme):
+    """Direct point-to-point exchange with every ghost-shell rank."""
+
+    use_rdma: bool = True
+    name: str = field(default="p2p-utofu", init=False)
+
+    def __post_init__(self) -> None:
+        self.name = "p2p-utofu" if self.use_rdma else "p2p-mpi"
+
+    def plan(self, context: ExchangeContext) -> CommunicationPlan:
+        layers = layers_for_cutoff(context.sub_box_lengths, context.cutoff)
+        offsets = _neighbor_offsets(layers, context.rank_dims)
+        messages = []
+        for offset in offsets:
+            volume = overlap_volume(offset, context.sub_box_lengths, context.cutoff)
+            n_bytes = volume * context.atom_density * context.bytes_per_atom
+            hops = _node_hops(offset, context.topology)
+            intra = hops == 0
+            messages.append(Message(n_bytes=n_bytes, hops=max(hops, 1), intra_node=intra))
+        plan = CommunicationPlan(scheme=self.name, use_rdma=self.use_rdma)
+        plan.rounds.append(
+            CommRound(messages=messages, engines=None, threads=None)
+        )
+        # The p2p implementation (Li et al. 2023) already manages its buffers
+        # through a registered pool, so no per-neighbour NIC-cache pressure.
+        plan.registered_regions = None
+        plan.reverse_traffic_ratio = context.reverse_ratio
+        plan.ranks_sharing_network = context.topology.ranks_per_node
+        plan.notes = {"layers": layers, "n_neighbors": len(offsets), "pattern": "p2p"}
+        return plan
+
+
+@dataclass
+class NodeBasedScheme(CommScheme):
+    """The paper's node-based parallelization scheme."""
+
+    leaders: int = 4
+    multithread: bool = True
+    load_balanced: bool = True
+    ref_layout: bool = False
+    use_rdma: bool = True
+    use_memory_pool: bool = True
+    name: str = field(default="lb-4l", init=False)
+
+    def __post_init__(self) -> None:
+        if self.leaders not in (1, 2, 4):
+            raise ValueError("leader count must be 1, 2 or 4")
+        if self.ref_layout:
+            self.name = f"ref-{self.leaders}l"
+        elif not self.multithread:
+            self.name = f"sg-lb-{self.leaders}l"
+        else:
+            self.name = f"lb-{self.leaders}l"
+
+    def plan(self, context: ExchangeContext) -> CommunicationPlan:
+        topology = context.topology
+        ranks_per_node = topology.ranks_per_node
+        node_layers = layers_for_cutoff(context.node_box_lengths, context.cutoff)
+        offsets = _neighbor_offsets(node_layers, context.node_dims)
+
+        messages = []
+        total_ghost_bytes = 0.0
+        for offset in offsets:
+            volume = overlap_volume(offset, context.node_box_lengths, context.cutoff)
+            n_bytes = volume * context.atom_density * context.bytes_per_atom
+            total_ghost_bytes += n_bytes
+            hops = sum(
+                min(abs(o) % d, d - abs(o) % d) for o, d in zip(offset, context.node_dims)
+            )
+            messages.append(Message(n_bytes=n_bytes, hops=max(hops, 1), intra_node=False))
+
+        threads_per_leader = 6 if self.multithread else 1
+        comm_threads = self.leaders * threads_per_leader
+        plan = CommunicationPlan(scheme=self.name, use_rdma=self.use_rdma)
+        plan.rounds.append(CommRound(messages=messages, engines=None, threads=comm_threads))
+
+        # Intra-node gather of local atoms into the shared/RDMA buffers.
+        local_bytes = context.local_bytes_per_rank()
+        plan.gather_bytes_per_rank = [local_bytes] * ranks_per_node
+
+        # Scatter of received ghosts: the leaders unpack each received packet
+        # once into the shared-memory atom structures (positions/types live in
+        # shared memory, so workers read them in place — §III-A.2).  The
+        # load-balanced organization additionally keeps the slightly larger
+        # node-box ghost list per rank (eq. 2 vs eq. 1), a few extra kilobytes.
+        scatter_total = total_ghost_bytes
+        if self.load_balanced and not self.ref_layout:
+            scatter_total *= 1.05
+        plan.scatter_bytes_per_rank = [scatter_total / ranks_per_node] * ranks_per_node
+
+        plan.n_intra_node_syncs = 2
+        # Copy/unpack concurrency: every thread of the leaders helps with the
+        # gather/scatter copies; only the number of threads driving the TNIs
+        # differs between the multithreaded and single-thread variants.
+        plan.copy_threads = self.leaders * topology.threads_per_rank
+        plan.unpack_messages = len(messages)
+        plan.registered_regions = None if self.use_memory_pool else 2 * len(messages)
+        plan.reverse_traffic_ratio = context.reverse_ratio
+        plan.notes = {
+            "node_layers": node_layers,
+            "n_neighbor_nodes": len(offsets),
+            "leaders": self.leaders,
+            "multithread": self.multithread,
+            "load_balanced": self.load_balanced and not self.ref_layout,
+            "messages_per_rank": len(offsets) / max(self.leaders, 1),
+            "pattern": "node-based",
+        }
+        return plan
+
+
+def build_scheme(name: str) -> CommScheme:
+    """Factory resolving the Fig. 7 bar labels to scheme instances."""
+    name = str(name)
+    if name == "baseline":
+        return ThreeStageScheme(use_rdma=False)
+    if name == "3stage-utofu":
+        return ThreeStageScheme(use_rdma=True)
+    if name == "p2p-utofu":
+        return P2PScheme(use_rdma=True)
+    if name == "lb-1l":
+        return NodeBasedScheme(leaders=1)
+    if name == "lb-2l":
+        return NodeBasedScheme(leaders=2)
+    if name == "lb-4l":
+        return NodeBasedScheme(leaders=4)
+    if name == "sg-lb-4l":
+        return NodeBasedScheme(leaders=4, multithread=False)
+    if name == "ref-4l":
+        return NodeBasedScheme(leaders=4, ref_layout=True)
+    raise KeyError(f"unknown communication scheme {name!r}; available: {SCHEME_NAMES}")

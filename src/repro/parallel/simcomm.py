@@ -1,0 +1,153 @@
+"""In-process ghost-exchange simulation for correctness checking.
+
+The communication schemes in :mod:`repro.parallel.schemes` are priced by the
+machine model; this module checks that they are *correct* — i.e. that the set
+of atoms a scheme delivers to a rank covers exactly the ghost atoms that rank
+needs (every atom of another rank within the cutoff of its sub-box).
+
+The simulator performs the exchanges with real atom coordinates:
+
+* the *reference* ghost set comes from a direct geometric query
+  (periodic point-to-box distance <= cutoff),
+* :meth:`deliver_p2p` reproduces what the p2p pattern ships (each neighbour
+  rank sends the slice of its atoms falling in the receiver's ghost shell),
+* :meth:`deliver_node_based` reproduces the node-based scheme (neighbour
+  nodes send node-box slices; every rank of the receiving node gets all of
+  them, plus its node peers' local atoms).
+
+The property verified in the test-suite: reference set is a subset of the
+delivered set for both schemes, and the p2p delivery equals the reference set
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..md.box import Box
+from .decomposition import SpatialDecomposition
+from .ghost import ghost_shell_ranks, layers_for_cutoff
+from .topology import RankTopology
+
+
+def _periodic_point_to_box_distance(
+    positions: np.ndarray, lower: np.ndarray, upper: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Minimum-image distance from each point to an axis-aligned box."""
+    per_axis = np.zeros_like(positions)
+    for axis in range(3):
+        best = None
+        for shift in (-lengths[axis], 0.0, lengths[axis]):
+            c = positions[:, axis] + shift
+            d = np.maximum(np.maximum(lower[axis] - c, c - upper[axis]), 0.0)
+            best = d if best is None else np.minimum(best, d)
+        per_axis[:, axis] = best
+    return np.sqrt(np.einsum("ij,ij->i", per_axis, per_axis))
+
+
+@dataclass
+class GhostExchangeSimulator:
+    """Executes ghost exchanges on real coordinates for verification."""
+
+    decomposition: SpatialDecomposition
+    cutoff: float
+
+    def __post_init__(self) -> None:
+        if self.cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.topology: RankTopology = self.decomposition.topology
+        self.box: Box = self.decomposition.box
+
+    # -- ownership ------------------------------------------------------------------
+    def owners(self, positions: np.ndarray) -> np.ndarray:
+        return self.decomposition.assign_to_ranks(positions)
+
+    def _rank_bounds(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.decomposition.rank_bounds(rank)
+
+    def _node_bounds(self, node_coord) -> tuple[np.ndarray, np.ndarray]:
+        lengths = self.decomposition.node_box_lengths
+        lower = np.array(node_coord, dtype=np.float64) * lengths
+        return lower, lower + lengths
+
+    # -- reference ghost set -----------------------------------------------------------
+    def reference_ghosts(self, rank: int, positions: np.ndarray) -> set[int]:
+        """Atom ids (owned elsewhere) within ``cutoff`` of the rank's sub-box."""
+        owners = self.owners(positions)
+        lower, upper = self._rank_bounds(rank)
+        wrapped = self.box.wrap(positions)
+        distance = _periodic_point_to_box_distance(wrapped, lower, upper, self.box.lengths)
+        needed = (distance <= self.cutoff) & (owners != rank)
+        return set(np.nonzero(needed)[0].tolist())
+
+    # -- p2p delivery ------------------------------------------------------------------
+    def deliver_p2p(self, rank: int, positions: np.ndarray) -> set[int]:
+        """Atoms delivered to ``rank`` by the p2p pattern."""
+        owners = self.owners(positions)
+        wrapped = self.box.wrap(positions)
+        lower, upper = self._rank_bounds(rank)
+        layers = layers_for_cutoff(self.decomposition.sub_box_lengths, self.cutoff)
+        coord = self.topology.rank_coord(rank)
+        neighbor_coords = ghost_shell_ranks(coord, self.topology.rank_dims, layers)
+        delivered: set[int] = set()
+        for neighbor_coord in neighbor_coords:
+            neighbor = self.topology.rank_index(neighbor_coord)
+            sender_atoms = np.nonzero(owners == neighbor)[0]
+            if len(sender_atoms) == 0:
+                continue
+            distance = _periodic_point_to_box_distance(
+                wrapped[sender_atoms], lower, upper, self.box.lengths
+            )
+            delivered.update(sender_atoms[distance <= self.cutoff].tolist())
+        return delivered
+
+    # -- node-based delivery --------------------------------------------------------------
+    def deliver_node_based(self, rank: int, positions: np.ndarray) -> set[int]:
+        """Atoms available to ``rank`` after the node-based exchange.
+
+        The rank sees (a) the local atoms of its node peers via shared memory
+        and (b) every atom that neighbouring nodes shipped because it falls in
+        the *node-box* ghost shell.
+        """
+        owners = self.owners(positions)
+        node_owners = self.decomposition.assign_to_nodes(positions)
+        wrapped = self.box.wrap(positions)
+
+        node_coord = self.topology.node_of_rank(rank)
+        node_index = self.topology.node_index(node_coord)
+        lower, upper = self._node_bounds(node_coord)
+
+        delivered: set[int] = set()
+        # (a) node peers' local atoms via the NoC.
+        peers = [r for r in self.topology.ranks_on_node(node_coord) if r != rank]
+        for peer in peers:
+            delivered.update(np.nonzero(owners == peer)[0].tolist())
+
+        # (b) ghost atoms from neighbouring nodes.
+        node_layers = layers_for_cutoff(self.decomposition.node_box_lengths, self.cutoff)
+        neighbor_nodes = ghost_shell_ranks(node_coord, self.topology.node_dims, node_layers)
+        for neighbor_coord in neighbor_nodes:
+            neighbor_index = self.topology.node_index(neighbor_coord)
+            sender_atoms = np.nonzero(node_owners == neighbor_index)[0]
+            if len(sender_atoms) == 0:
+                continue
+            distance = _periodic_point_to_box_distance(
+                wrapped[sender_atoms], lower, upper, self.box.lengths
+            )
+            delivered.update(sender_atoms[distance <= self.cutoff].tolist())
+        return delivered
+
+    # -- aggregate checks --------------------------------------------------------------------
+    def verify_rank(self, rank: int, positions: np.ndarray) -> dict[str, bool]:
+        """Coverage checks for one rank (used by tests and the claims bench)."""
+        reference = self.reference_ghosts(rank, positions)
+        p2p = self.deliver_p2p(rank, positions)
+        node = self.deliver_node_based(rank, positions)
+        return {
+            "p2p_exact": p2p == reference,
+            "node_covers": reference.issubset(node),
+            "reference_size": len(reference),
+            "node_size": len(node),
+        }

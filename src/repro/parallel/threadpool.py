@@ -1,0 +1,49 @@
+"""Threading-model overhead accounting (OpenMP vs persistent thread pool).
+
+The original DeePMD-kit parallelizes with OpenMP; every parallel region pays a
+fork/join cost that becomes visible when the per-region work shrinks to a few
+microseconds (one or two atoms per thread).  The optimized code keeps a
+persistent thread pool whose workers spin, reducing the dispatch overhead by
+roughly an order of magnitude.  The model simply multiplies the per-region
+overhead by the number of parallel regions executed per MD step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.specs import FugakuSpec, FUGAKU
+
+
+@dataclass
+class ThreadingModel:
+    """Per-step threading overhead for a given runtime choice."""
+
+    kind: str = "openmp"
+    machine: FugakuSpec = field(default_factory=lambda: FUGAKU)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("openmp", "threadpool"):
+            raise ValueError("threading kind must be 'openmp' or 'threadpool'")
+
+    @property
+    def per_region_overhead(self) -> float:
+        if self.kind == "openmp":
+            return self.machine.openmp_region_overhead
+        return self.machine.threadpool_region_overhead
+
+    def per_step_overhead(self, parallel_regions: int | None = None) -> float:
+        regions = (
+            self.machine.parallel_regions_per_step if parallel_regions is None else int(parallel_regions)
+        )
+        if regions < 0:
+            raise ValueError("number of parallel regions must be non-negative")
+        return regions * self.per_region_overhead
+
+    def speedup_over(self, other: "ThreadingModel", parallel_regions: int | None = None) -> float:
+        """Overhead ratio other/self (>1 when self is cheaper)."""
+        mine = self.per_step_overhead(parallel_regions)
+        theirs = other.per_step_overhead(parallel_regions)
+        if mine == 0:
+            return float("inf")
+        return theirs / mine

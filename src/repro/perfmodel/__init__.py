@@ -1,0 +1,36 @@
+"""Per-step performance model: kernel costs, communication costs, ns/day.
+
+The paper's headline numbers (149 ns/day, 31.7x speedup, 62 % parallel
+efficiency at 12,000 nodes) are wall-clock measurements on Fugaku.  Without
+the machine, this package models the per-step time from first principles:
+
+* :mod:`kernels` — FLOP counts of the Deep Potential inference per atom
+  (embedding, descriptor, fitting, forward + backward), converted to time by
+  the A64FX node model with the GEMM-efficiency/precision factors the paper
+  reports, plus framework overhead and threading overhead;
+* :mod:`comm_cost` — the time of a :class:`CommunicationPlan` on the TofuD
+  model (gather/scatter over the NoC, messages over the TNIs, NIC-cache
+  penalties, the force send-back);
+* :mod:`timeline` — assembling the phases into a step time and converting to
+  nanoseconds per day;
+* :mod:`strongscaling` — sweeps over node counts and parallel efficiency.
+
+All model constants live in :mod:`repro.hardware.specs`; the algorithmic
+inputs (message counts/sizes, atom counts per rank, FLOPs) come from the real
+decomposition and the real model configuration.
+"""
+
+from .kernels import KernelCostModel, PerAtomFlops
+from .comm_cost import CommCostModel, CommTimeBreakdown
+from .timeline import StepTimeline
+from .strongscaling import parallel_efficiency, scaling_table
+
+__all__ = [
+    "KernelCostModel",
+    "PerAtomFlops",
+    "CommCostModel",
+    "CommTimeBreakdown",
+    "StepTimeline",
+    "parallel_efficiency",
+    "scaling_table",
+]

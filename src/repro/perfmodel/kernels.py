@@ -1,0 +1,209 @@
+"""Kernel cost model of Deep Potential inference.
+
+FLOP counts are derived from the model hyper-parameters (embedding sizes,
+axis neurons, fitting sizes, neighbours per atom) and priced by the
+:class:`~repro.hardware.a64fx.A64FXNode` model.  The same counts drive both
+the baseline (framework, fp64, BLAS, OpenMP) and the optimized configuration;
+the configuration toggles change *which* efficiency factors, overheads and
+extra work apply — exactly the structure of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from ..hardware.a64fx import A64FXNode
+from ..hardware.specs import FUGAKU, FugakuSpec
+
+
+@dataclass(frozen=True)
+class PerAtomFlops:
+    """Floating-point operation counts for evaluating one atom."""
+
+    environment: float
+    embedding_forward: float
+    embedding_backward: float
+    descriptor_forward: float
+    descriptor_backward: float
+    fitting_forward: float
+    fitting_backward: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.environment
+            + self.embedding_forward
+            + self.embedding_backward
+            + self.descriptor_forward
+            + self.descriptor_backward
+            + self.fitting_forward
+            + self.fitting_backward
+        )
+
+
+def _mlp_flops(sizes: tuple[int, ...]) -> float:
+    """Multiply-add FLOPs of one forward pass through consecutive layers."""
+    flops = 0.0
+    for n_in, n_out in zip(sizes[:-1], sizes[1:]):
+        flops += 2.0 * n_in * n_out
+    return flops
+
+
+@dataclass
+class KernelCostModel:
+    """Per-atom and per-step compute time for a Deep Potential configuration.
+
+    Parameters
+    ----------
+    embedding_sizes / axis_neurons / fitting_sizes:
+        the network hyper-parameters (paper: (25, 50, 100), 16, (240,240,240)).
+    neighbors_per_atom:
+        padded neighbour count (paper: 512 for Cu at 8 A, 46/92 for H/O at 6 A).
+    machine:
+        the hardware constants.
+    """
+
+    embedding_sizes: tuple[int, ...] = (25, 50, 100)
+    axis_neurons: int = 16
+    fitting_sizes: tuple[int, ...] = (240, 240, 240)
+    neighbors_per_atom: int = 512
+    machine: FugakuSpec = field(default_factory=lambda: FUGAKU)
+
+    def __post_init__(self) -> None:
+        self.node_model = A64FXNode(self.machine.node)
+        self.m_width = self.embedding_sizes[-1]
+        self.descriptor_dim = self.m_width * self.axis_neurons
+
+    # -- FLOP counting ----------------------------------------------------------
+    def per_atom_flops(self, compressed: bool = True) -> PerAtomFlops:
+        n = self.neighbors_per_atom
+        m = self.m_width
+        m2 = self.axis_neurons
+
+        environment = 12.0 * n  # distances, switching function, R rows
+        if compressed:
+            # cubic Hermite interpolation: ~10 flops per output component
+            embedding_fwd = 10.0 * m * n
+            embedding_bwd = 6.0 * m * n
+        else:
+            per_neighbor = _mlp_flops((1, *self.embedding_sizes))
+            embedding_fwd = per_neighbor * n
+            embedding_bwd = per_neighbor * n  # input-gradient pass
+
+        descriptor_fwd = 2.0 * n * 4 * m + 2.0 * 4 * m * m2
+        descriptor_bwd = 2.0 * descriptor_fwd + 2.0 * n * 4 * m  # dA, dR, dG
+
+        fitting_fwd = _mlp_flops((self.descriptor_dim, *self.fitting_sizes, 1))
+        fitting_bwd = fitting_fwd
+
+        return PerAtomFlops(
+            environment=environment,
+            embedding_forward=embedding_fwd,
+            embedding_backward=embedding_bwd,
+            descriptor_forward=descriptor_fwd,
+            descriptor_backward=descriptor_bwd,
+            fitting_forward=fitting_fwd,
+            fitting_backward=fitting_bwd,
+        )
+
+    # -- per-atom time -------------------------------------------------------------
+    def per_atom_time(
+        self,
+        atoms_per_thread: int = 1,
+        backend: str = "blas",
+        precision: str = "double",
+        compressed: bool = True,
+        pretranspose: bool = True,
+        framework: bool = False,
+    ) -> float:
+        """Modelled time (s) to evaluate one atom on one core.
+
+        ``atoms_per_thread`` sets the M dimension of the fitting-net GEMMs
+        (atom-by-atom evaluation means M equals the number of atoms a thread
+        batches, 1-3 in the strong-scaling limit).
+        """
+        if atoms_per_thread < 1:
+            raise ValueError("atoms per thread must be >= 1")
+        flops = self.per_atom_flops(compressed)
+        emb_dtype = "fp32" if precision in ("mix-fp32", "mix-fp16") else "fp64"
+        fit_dtype = emb_dtype
+        fit_first_dtype = "fp16" if precision == "mix-fp16" else fit_dtype
+
+        time = 0.0
+        # environment + descriptor: bandwidth/vector work at moderate efficiency
+        time += self.node_model.flops_time(flops.environment, dtype="fp64", efficiency=0.10)
+        time += self.node_model.flops_time(
+            flops.descriptor_forward + flops.descriptor_backward, dtype=emb_dtype, efficiency=0.20
+        )
+        # embedding net: regular-shaped GEMMs over the neighbour dimension (or
+        # the interpolation table when compressed)
+        if compressed:
+            time += self.node_model.flops_time(
+                flops.embedding_forward + flops.embedding_backward, dtype=emb_dtype, efficiency=0.15
+            )
+        else:
+            sizes = (1, *self.embedding_sizes)
+            for n_in, n_out in zip(sizes[:-1], sizes[1:]):
+                time += 2.0 * self.node_model.gemm_time(
+                    self.neighbors_per_atom, n_out, n_in, dtype=emb_dtype, backend=backend
+                )
+        # fitting net: tall-and-skinny GEMMs, forward + backward
+        m_dim = atoms_per_thread
+        sizes = (self.descriptor_dim, *self.fitting_sizes, 1)
+        for layer, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            dtype = fit_first_dtype if layer == 0 else fit_dtype
+            fwd = self.node_model.fitting_gemm_time(m_dim, n_out, n_in, dtype=dtype, backend=backend)
+            bwd = self.node_model.fitting_gemm_time(
+                m_dim, n_in, n_out, dtype=dtype, backend=backend, transposed_b=not pretranspose
+            )
+            time += (fwd + bwd) / m_dim  # per atom
+        if framework:
+            time *= self.machine.framework_kernel_factor
+        return time
+
+    # -- per-step compute time ----------------------------------------------------------
+    def rank_compute_time(
+        self,
+        atoms_on_rank: int,
+        threads_per_rank: int = 12,
+        backend: str = "blas",
+        precision: str = "double",
+        compressed: bool = True,
+        pretranspose: bool = True,
+        framework: bool = False,
+        threading_overhead: float = 0.0,
+        neighbor_rebuild_every: int = 50,
+    ) -> float:
+        """Pair-phase time of one rank for one MD step.
+
+        Atoms are distributed over the threads atom-by-atom; the busiest
+        thread (``ceil(atoms/threads)``) determines the phase time.  The
+        framework's fixed session overhead (one session per thread, running
+        concurrently) adds its full latency once.
+        """
+        if atoms_on_rank < 0:
+            raise ValueError("atom count must be non-negative")
+        threads_per_rank = max(1, threads_per_rank)
+        atoms_per_thread = math.ceil(atoms_on_rank / threads_per_rank) if atoms_on_rank else 0
+        per_atom = self.per_atom_time(
+            atoms_per_thread=max(atoms_per_thread, 1),
+            backend=backend,
+            precision=precision,
+            compressed=compressed,
+            pretranspose=pretranspose,
+            framework=framework,
+        )
+        time = atoms_per_thread * per_atom
+        if framework:
+            time += self.machine.framework_overhead
+        time += threading_overhead
+        # neighbour-list rebuild, amortized over the rebuild cadence
+        rebuild = self.node_model.flops_time(
+            30.0 * self.neighbors_per_atom * max(atoms_on_rank, 1) / max(threads_per_rank, 1),
+            efficiency=0.10,
+        )
+        time += rebuild / max(neighbor_rebuild_every, 1)
+        # integration / thermostat / bookkeeping
+        time += 2.0e-6 + 5.0e-9 * atoms_on_rank
+        return time

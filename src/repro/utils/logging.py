@@ -1,0 +1,35 @@
+"""Thin wrapper over :mod:`logging` giving the package a uniform format."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the package-wide log level (e.g. ``logging.INFO`` or ``"DEBUG"``)."""
+    _configure_root()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,106 @@
+"""Wall-clock timers with LAMMPS-style per-phase accounting.
+
+The MD engine reports a timing breakdown similar to LAMMPS' ``Pair``, ``Neigh``,
+``Comm``, ``Other`` summary.  ``PhaseTimer`` accumulates seconds per named
+phase; ``Timer`` is a simple context-manager stopwatch.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple stopwatch; use as a context manager or via start/stop."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer was not started")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates elapsed wall-clock time per named phase.
+
+    Example
+    -------
+    >>> timers = PhaseTimer()
+    >>> with timers.phase("pair"):
+    ...     pass
+    >>> "pair" in timers.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            delta = time.perf_counter() - start
+            self.add(name, delta)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against phase ``name`` (also used by cost models)."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fraction(self, name: str) -> float:
+        tot = self.total()
+        if tot == 0.0:
+            return 0.0
+        return self.totals.get(name, 0.0) / tot
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def summary(self) -> str:
+        """LAMMPS-style breakdown string sorted by descending time."""
+        tot = self.total()
+        lines = ["%-12s %12s %8s" % ("phase", "seconds", "%")]
+        for name, secs in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * secs / tot if tot else 0.0
+            lines.append("%-12s %12.6f %7.2f%%" % (name, secs, pct))
+        lines.append("%-12s %12.6f %7.2f%%" % ("total", tot, 100.0 if tot else 0.0))
+        return "\n".join(lines)
+
+    def merge(self, other: "PhaseTimer") -> "PhaseTimer":
+        """Return a new PhaseTimer holding the sum of both breakdowns."""
+        merged = PhaseTimer()
+        for src in (self, other):
+            for name, secs in src.totals.items():
+                merged.totals[name] = merged.totals.get(name, 0.0) + secs
+            for name, cnt in src.counts.items():
+                merged.counts[name] = merged.counts.get(name, 0) + cnt
+        return merged

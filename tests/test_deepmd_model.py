@@ -1,0 +1,230 @@
+"""The Deep Potential model: forces, symmetries, precision, compression, baseline path."""
+
+import numpy as np
+import pytest
+
+from repro.deepmd import (
+    DOUBLE,
+    MIX_FP16,
+    MIX_FP32,
+    DeepPotential,
+    DeepPotentialConfig,
+    DeepPotentialForceField,
+    GemmBackend,
+)
+from repro.deepmd.precision import get_policy
+from repro.md import copper_system, water_system
+from repro.md.atoms import Atoms
+from repro.md.neighbor import build_neighbor_data
+from repro.nnframework.session import Session
+
+
+def _copper_case(model, n_cells=(3, 3, 3), perturbation=0.08, rng=1):
+    atoms, box = copper_system(n_cells, perturbation=perturbation, rng=rng)
+    neighbors = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+    return atoms, box, neighbors
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = DeepPotentialConfig(type_names=("Cu",), cutoff=8.0)
+        assert config.fitting_sizes == (240, 240, 240)
+        assert config.embedding_sizes == (25, 50, 100)
+        assert config.axis_neurons == 16
+        assert config.descriptor_dim == 1600
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeepPotentialConfig(type_names=(), cutoff=8.0)
+        with pytest.raises(ValueError):
+            DeepPotentialConfig(type_names=("Cu",), cutoff=-1.0)
+        with pytest.raises(ValueError):
+            DeepPotentialConfig(type_names=("Cu",), cutoff=6.0, cutoff_smooth=7.0)
+        with pytest.raises(ValueError):
+            DeepPotentialConfig(type_names=("Cu",), cutoff=6.0, embedding_sizes=(4,), axis_neurons=8)
+
+    def test_precision_policy_lookup(self):
+        assert get_policy("double") is DOUBLE
+        assert get_policy(MIX_FP32) is MIX_FP32
+        with pytest.raises(KeyError):
+            get_policy("fp8")
+        assert MIX_FP16.uses_fp16 and MIX_FP16.uses_fp32
+        assert not DOUBLE.uses_fp16
+
+
+class TestForces:
+    def test_analytic_forces_match_finite_differences(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model)
+        output = model.evaluate(atoms, box, neighbors)
+        delta = 1e-5
+        rng = np.random.default_rng(0)
+        for i in rng.choice(len(atoms), size=3, replace=False):
+            for axis in range(3):
+                energies = []
+                for sign in (+1, -1):
+                    trial = atoms.copy()
+                    trial.positions[i, axis] += sign * delta
+                    trial.positions = box.wrap(trial.positions)
+                    nd = build_neighbor_data(trial.positions, box, model.config.cutoff)
+                    energies.append(model.evaluate(trial, box, nd).energy)
+                numeric = -(energies[0] - energies[1]) / (2 * delta)
+                assert output.forces[i, axis] == pytest.approx(numeric, abs=5e-8)
+
+    def test_total_force_is_zero(self, tiny_copper_model):
+        atoms, box, neighbors = _copper_case(tiny_copper_model, rng=2)
+        output = tiny_copper_model.evaluate(atoms, box, neighbors)
+        np.testing.assert_allclose(output.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_per_atom_energy_sums_to_total(self, tiny_copper_model):
+        atoms, box, neighbors = _copper_case(tiny_copper_model, rng=3)
+        output = tiny_copper_model.evaluate(atoms, box, neighbors)
+        assert output.per_atom_energy.sum() == pytest.approx(output.energy, rel=1e-12)
+
+    def test_multi_type_forces_match_finite_differences(self, tiny_water_model):
+        model = tiny_water_model
+        atoms, box, _ = water_system(27, rng=4)
+        neighbors = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+        output = model.evaluate(atoms, box, neighbors)
+        delta = 1e-5
+        i, axis = 5, 1
+        energies = []
+        for sign in (+1, -1):
+            trial = atoms.copy()
+            trial.positions[i, axis] += sign * delta
+            nd = build_neighbor_data(trial.positions, box, model.config.cutoff)
+            energies.append(model.evaluate(trial, box, nd).energy)
+        numeric = -(energies[0] - energies[1]) / (2 * delta)
+        assert output.forces[i, axis] == pytest.approx(numeric, abs=5e-8)
+
+
+class TestSymmetries:
+    def test_translational_invariance(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=5)
+        reference = model.evaluate(atoms, box, neighbors).energy
+        shifted = atoms.copy()
+        shifted.positions = box.wrap(shifted.positions + np.array([1.3, -0.7, 2.2]))
+        nd = build_neighbor_data(shifted.positions, box, model.config.cutoff)
+        assert model.evaluate(shifted, box, nd).energy == pytest.approx(reference, rel=1e-9)
+
+    def test_permutational_invariance(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=6)
+        reference = model.evaluate(atoms, box, neighbors).energy
+        perm = np.random.default_rng(0).permutation(len(atoms))
+        permuted = atoms.select(perm)
+        nd = build_neighbor_data(permuted.positions, box, model.config.cutoff)
+        assert model.evaluate(permuted, box, nd).energy == pytest.approx(reference, rel=1e-9)
+
+    def test_rotational_invariance_cluster(self, tiny_copper_model):
+        # Use an isolated cluster in a huge box so rotation does not interact
+        # with the periodic images.
+        model = tiny_copper_model
+        rng = np.random.default_rng(7)
+        from repro.md import Box
+
+        box = Box.cubic(60.0)
+        positions = 25.0 + rng.uniform(0, 4.0, size=(12, 3))
+        atoms = Atoms.from_symbols(positions, ["Cu"] * 12)
+        nd = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+        reference = model.evaluate(atoms, box, nd).energy
+
+        theta = 0.7
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta), 0.0], [np.sin(theta), np.cos(theta), 0.0], [0.0, 0.0, 1.0]]
+        )
+        center = positions.mean(axis=0)
+        rotated = (positions - center) @ rotation.T + center
+        atoms_rot = Atoms.from_symbols(rotated, ["Cu"] * 12)
+        nd_rot = build_neighbor_data(atoms_rot.positions, box, model.config.cutoff)
+        assert model.evaluate(atoms_rot, box, nd_rot).energy == pytest.approx(reference, rel=1e-9)
+
+
+class TestBaselineFrameworkPath:
+    def test_framework_and_fast_paths_agree(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=8)
+        fast = model.evaluate(atoms, box, neighbors)
+        session = Session()
+        framework = model.evaluate_with_framework(atoms, box, neighbors, session=session)
+        assert framework.energy == pytest.approx(fast.energy, abs=1e-10)
+        np.testing.assert_allclose(framework.forces, fast.forces, atol=1e-10)
+        assert framework.used_framework and not fast.used_framework
+        # one session run per centre type present
+        assert session.stats.runs == 1
+        assert session.stats.modeled_overhead_seconds == pytest.approx(4e-3)
+
+    def test_framework_water_agrees_and_counts_sessions(self, tiny_water_model):
+        model = tiny_water_model
+        atoms, box, _ = water_system(27, rng=9)
+        neighbors = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+        session = Session()
+        fast = model.evaluate(atoms, box, neighbors)
+        framework = model.evaluate_with_framework(atoms, box, neighbors, session=session)
+        np.testing.assert_allclose(framework.forces, fast.forces, atol=1e-10)
+        assert session.stats.runs == 2  # O and H graphs
+
+
+class TestPrecisionAndCompression:
+    def test_precision_policies_perturb_results_slightly(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=10)
+        double = model.evaluate(atoms, box, neighbors, precision="double")
+        fp32 = model.evaluate(atoms, box, neighbors, precision="mix-fp32")
+        fp16 = model.evaluate(atoms, box, neighbors, precision="mix-fp16")
+        err32 = abs(fp32.energy - double.energy) / max(abs(double.energy), 1e-12)
+        err16 = abs(fp16.energy - double.energy) / max(abs(double.energy), 1e-12)
+        assert err32 < 1e-4
+        assert err16 < 5e-2
+        assert err32 <= err16 + 1e-12
+
+    def test_sve_backend_matches_blas(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=11)
+        blas = model.evaluate(atoms, box, neighbors, backend=GemmBackend(kind="blas"))
+        sve = model.evaluate(atoms, box, neighbors, backend=GemmBackend(kind="sve"))
+        assert sve.energy == pytest.approx(blas.energy, rel=1e-12)
+
+    def test_compressed_embedding_close_to_exact(self, tiny_copper_model):
+        model = tiny_copper_model
+        atoms, box, neighbors = _copper_case(model, rng=12)
+        exact = model.evaluate(atoms, box, neighbors)
+        compressed = model.evaluate(atoms, box, neighbors, compressed=True)
+        assert compressed.energy == pytest.approx(exact.energy, abs=5e-3)
+        assert np.max(np.abs(compressed.forces - exact.forces)) < 5e-3
+
+    def test_descriptor_stats_validation(self, tiny_copper_model):
+        model = tiny_copper_model
+        dim = model.config.descriptor_dim
+        with pytest.raises(ValueError):
+            model.set_descriptor_stats(np.zeros((1, dim + 1)), np.ones((1, dim + 1)))
+        with pytest.raises(ValueError):
+            model.set_descriptor_stats(np.zeros((1, dim)), np.zeros((1, dim)))
+        with pytest.raises(ValueError):
+            model.set_energy_bias(np.zeros(3))
+
+
+class TestPairStyle:
+    def test_force_field_adapter_runs_md_step(self, tiny_copper_model):
+        from repro.md import Simulation
+
+        atoms, box = copper_system((2, 2, 2), perturbation=0.02, rng=13)
+        ff = DeepPotentialForceField(tiny_copper_model, precision="mix-fp32")
+        # model cutoff 4.5 exceeds the 2x2x2 minimum image; use a 3x3x3 cell
+        atoms, box = copper_system((3, 3, 3), perturbation=0.02, rng=13)
+        atoms.initialize_velocities(50.0, rng=14)
+        sim = Simulation(atoms, box, ff, timestep_fs=1.0, neighbor_skin=0.3)
+        report = sim.run(3)
+        assert report.n_steps == 3
+        assert ff.n_evaluations >= 4  # initial forces + 3 steps
+        description = ff.describe()
+        assert description["precision"] == "mix-fp32"
+        assert description["cutoff"] == pytest.approx(4.5)
+
+    def test_framework_pair_style_accumulates_overhead(self, tiny_copper_model):
+        atoms, box = copper_system((3, 3, 3), rng=15)
+        neighbors = build_neighbor_data(atoms.positions, box, 4.5)
+        ff = DeepPotentialForceField(tiny_copper_model, use_framework=True)
+        ff.compute(atoms, box, neighbors)
+        assert ff.session.stats.runs == 1

@@ -1,0 +1,155 @@
+"""Integration, thermostats, the simulation loop and RDF analysis."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    BerendsenThermostat,
+    GuptaPotential,
+    LangevinThermostat,
+    LennardJones,
+    Simulation,
+    VelocityRescale,
+    VelocityVerlet,
+    copper_system,
+    partial_rdf,
+    radial_distribution_function,
+    water_system,
+)
+from repro.md.rdf import rdf_overlap_error
+from repro.units import temperature as instantaneous_temperature
+
+
+class TestVelocityVerlet:
+    def test_invalid_timestep(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(0.0)
+
+    def test_free_particle_moves_linearly(self):
+        from repro.md import Atoms, Box
+
+        box = Box.cubic(100.0)
+        atoms = Atoms.from_symbols(np.array([[1.0, 1.0, 1.0]]), ["Cu"])
+        atoms.velocities[0] = [0.01, 0.0, 0.0]
+        integrator = VelocityVerlet(2.0)
+        integrator.step(atoms, box, lambda a: 0.0)
+        np.testing.assert_allclose(atoms.positions[0], [1.02, 1.0, 1.0])
+
+    def test_nve_energy_conservation_copper(self):
+        atoms, box = copper_system((3, 3, 3), rng=0)
+        atoms.initialize_velocities(150.0, rng=1)
+        sim = Simulation(atoms, box, GuptaPotential(cutoff=5.0), timestep_fs=2.0, neighbor_skin=0.3)
+        e0 = sim.total_energy()
+        sim.run(40)
+        e1 = sim.total_energy()
+        drift_per_atom = abs(e1 - e0) / len(atoms)
+        assert drift_per_atom < 2.0e-4  # eV/atom over 80 fs
+
+
+class TestThermostats:
+    def _lj_copper_sim(self, thermostat, steps=60):
+        atoms, box = copper_system((3, 3, 3), rng=2)
+        atoms.initialize_velocities(600.0, rng=3)
+        sim = Simulation(
+            atoms, box, GuptaPotential(cutoff=5.0), timestep_fs=2.0, neighbor_skin=0.3, thermostat=thermostat
+        )
+        sim.run(steps)
+        return instantaneous_temperature(atoms.masses, atoms.velocities)
+
+    def test_langevin_drives_towards_target(self):
+        final = self._lj_copper_sim(LangevinThermostat(300.0, damping_fs=20.0, rng=4))
+        assert 150.0 < final < 500.0
+
+    def test_berendsen_reduces_temperature_gap(self):
+        final = self._lj_copper_sim(BerendsenThermostat(300.0, coupling_fs=50.0))
+        assert final < 600.0
+
+    def test_velocity_rescale_hits_target_exactly(self):
+        atoms, box = copper_system((2, 2, 2), rng=5)
+        atoms.initialize_velocities(500.0, rng=6)
+        VelocityRescale(250.0).apply(atoms, 1.0)
+        assert instantaneous_temperature(atoms.masses, atoms.velocities) == pytest.approx(250.0)
+
+    def test_thermostat_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LangevinThermostat(-1.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, coupling_fs=0.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(300.0, every=0)
+
+
+class TestSimulation:
+    def test_requires_positive_cutoff(self):
+        atoms, box = copper_system((2, 2, 2))
+
+        class NoCutoff:
+            cutoff = 0.0
+
+        with pytest.raises(ValueError):
+            Simulation(atoms, box, NoCutoff(), timestep_fs=1.0)
+
+    def test_report_contents_and_timers(self):
+        atoms, box = copper_system((3, 3, 3), rng=7)
+        atoms.initialize_velocities(100.0, rng=8)
+        sim = Simulation(atoms, box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0, neighbor_skin=0.3)
+        report = sim.run(10, trajectory_every=5)
+        assert report.n_steps == 10
+        assert len(report.potential_energies) == 10
+        assert report.neighbor_builds >= 1
+        assert {"pair", "neigh", "integrate"} <= set(report.timers.totals)
+        assert len(sim.trajectory) == 2
+        assert report.mean_temperature > 0.0
+
+    def test_negative_steps_rejected(self):
+        atoms, box = copper_system((2, 2, 2))
+        sim = Simulation(atoms, box, LennardJones(0.05, 2.3, 3.0), timestep_fs=1.0, neighbor_skin=0.3)
+        with pytest.raises(ValueError):
+            sim.run(-1)
+
+
+class TestRDF:
+    def test_ideal_gas_rdf_is_flat(self):
+        from repro.md import Atoms, Box
+
+        rng = np.random.default_rng(0)
+        box = Box.cubic(20.0)
+        atoms = Atoms.from_symbols(rng.uniform(0, 20, size=(3000, 3)), ["Cu"] * 3000)
+        rdf = partial_rdf(atoms, box, 0, 0, r_max=8.0, n_bins=40)
+        # ignore the first few bins (few counts); the tail should hover around 1
+        assert np.abs(rdf.g[10:] - 1.0).mean() < 0.1
+
+    def test_fcc_first_peak_at_nearest_neighbor_distance(self):
+        atoms, box = copper_system((4, 4, 4))
+        rdf = partial_rdf(atoms, box, 0, 0, r_max=5.0, n_bins=100)
+        peak_r, peak_g = rdf.first_peak()
+        assert peak_r == pytest.approx(3.615 / np.sqrt(2.0), abs=0.1)
+        assert peak_g > 5.0
+
+    def test_water_oh_peak_near_bond_length(self):
+        atoms, box, _ = water_system(64, rng=1)
+        rdf = partial_rdf(atoms, box, 0, 1, r_max=4.0, n_bins=80)
+        peak_r, _ = rdf.first_peak()
+        assert peak_r == pytest.approx(1.0, abs=0.15)
+
+    def test_trajectory_average_and_overlap_error(self):
+        atoms, box, _ = water_system(27, rng=2)
+        frames = [atoms.positions, atoms.positions + 0.01]
+        rdf_a = radial_distribution_function(frames, box, atoms.types, 0, 0, r_max=4.0)
+        rdf_b = radial_distribution_function([atoms.positions], box, atoms.types, 0, 0, r_max=4.0)
+        err = rdf_overlap_error(rdf_a, rdf_b)
+        assert err >= 0.0
+        assert err < 0.5
+
+    def test_overlap_error_requires_same_binning(self):
+        atoms, box, _ = water_system(8, rng=3)
+        a = partial_rdf(atoms, box, 0, 0, r_max=4.0, n_bins=10)
+        b = partial_rdf(atoms, box, 0, 0, r_max=4.0, n_bins=20)
+        with pytest.raises(ValueError):
+            rdf_overlap_error(a, b)
+
+    def test_empty_frames_rejected(self):
+        from repro.md import Box
+
+        with pytest.raises(ValueError):
+            radial_distribution_function([], Box.cubic(5.0), None, 0, 0)

@@ -1,0 +1,152 @@
+"""Reference force fields: analytic forces vs finite differences, physics sanity."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    GuptaPotential,
+    LennardJones,
+    MorsePotential,
+    WaterReference,
+    copper_system,
+    water_system,
+)
+from repro.md.forcefields.base import accumulate_pair_forces
+from repro.md.neighbor import build_neighbor_data
+
+
+def builder(box, cutoff):
+    return lambda atoms: build_neighbor_data(atoms.positions, box, cutoff)
+
+
+class TestLennardJones:
+    def test_minimum_at_sigma_times_2_to_sixth(self):
+        lj = LennardJones(epsilon=0.5, sigma=2.0, cutoff=8.0, shift=False)
+        r_min = 2.0 * 2.0 ** (1.0 / 6.0)
+        import numpy as np
+
+        from repro.md import Atoms, Box
+
+        box = Box.cubic(30.0)
+        atoms = Atoms.from_symbols(np.array([[0.0, 0, 0], [r_min, 0, 0]]), ["Cu", "Cu"])
+        data = build_neighbor_data(atoms.positions, box, 8.0)
+        result = lj.compute(atoms, box, data)
+        assert result.energy == pytest.approx(-0.5, rel=1e-9)
+        np.testing.assert_allclose(result.forces, 0.0, atol=1e-9)
+
+    def test_forces_match_finite_differences(self, small_copper):
+        atoms, box = small_copper
+        lj = LennardJones(epsilon=0.05, sigma=2.3, cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        analytic = lj.compute(atoms, box, data).forces
+        subset = atoms.select(np.arange(12))  # FD on a subset box for speed
+        numeric = lj.numerical_forces(atoms, box, builder(box, 5.0))
+        np.testing.assert_allclose(analytic, numeric, atol=5e-6)
+
+    def test_energy_shift_makes_cutoff_continuous(self):
+        lj = LennardJones(epsilon=0.5, sigma=2.0, cutoff=6.0, shift=True)
+        from repro.md import Atoms, Box
+
+        box = Box.cubic(30.0)
+        atoms = Atoms.from_symbols(np.array([[0.0, 0, 0], [5.999, 0, 0]]), ["Cu", "Cu"])
+        data = build_neighbor_data(atoms.positions, box, 6.0)
+        assert abs(lj.compute(atoms, box, data).energy) < 1e-4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LennardJones(-1.0, 1.0, 1.0)
+
+
+class TestMorse:
+    def test_equilibrium_distance_has_zero_force(self):
+        from repro.md import Atoms, Box
+
+        morse = MorsePotential(cutoff=8.0, shift=False)
+        box = Box.cubic(30.0)
+        atoms = Atoms.from_symbols(np.array([[0.0, 0, 0], [morse.r0, 0, 0]]), ["Cu", "Cu"])
+        data = build_neighbor_data(atoms.positions, box, 8.0)
+        result = morse.compute(atoms, box, data)
+        assert result.energy == pytest.approx(-morse.d, rel=1e-6)
+        np.testing.assert_allclose(result.forces, 0.0, atol=1e-9)
+
+    def test_forces_match_finite_differences(self, small_copper):
+        atoms, box = small_copper
+        morse = MorsePotential(cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        analytic = morse.compute(atoms, box, data).forces
+        numeric = morse.numerical_forces(atoms, box, builder(box, 5.0))
+        np.testing.assert_allclose(analytic, numeric, atol=5e-6)
+
+
+class TestGupta:
+    def test_cohesive_energy_close_to_copper(self):
+        atoms, box = copper_system((3, 3, 3))
+        gupta = GuptaPotential(cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        e_per_atom = gupta.compute(atoms, box, data).energy / len(atoms)
+        # Experimental copper cohesive energy is about -3.49 eV/atom.
+        assert -4.0 < e_per_atom < -2.8
+
+    def test_forces_vanish_on_perfect_lattice(self):
+        atoms, box = copper_system((3, 3, 3))
+        gupta = GuptaPotential(cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        np.testing.assert_allclose(gupta.compute(atoms, box, data).forces, 0.0, atol=1e-10)
+
+    def test_forces_match_finite_differences(self, small_copper):
+        atoms, box = small_copper
+        gupta = GuptaPotential(cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        analytic = gupta.compute(atoms, box, data).forces
+        numeric = gupta.numerical_forces(atoms, box, builder(box, 5.0))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_per_atom_energy_sums_to_total(self, small_copper):
+        atoms, box = small_copper
+        gupta = GuptaPotential(cutoff=5.0)
+        data = build_neighbor_data(atoms.positions, box, 5.0)
+        result = gupta.compute(atoms, box, data)
+        assert result.per_atom_energy.sum() == pytest.approx(result.energy, rel=1e-12)
+
+
+class TestWaterReference:
+    def test_forces_match_finite_differences(self):
+        atoms, box, topology = water_system(64, rng=3)
+        water = WaterReference(topology, cutoff=6.0)
+        data = build_neighbor_data(atoms.positions, box, 6.0)
+        analytic = water.compute(atoms, box, data).forces
+        numeric = water.numerical_forces(atoms, box, builder(box, 6.0))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_intramolecular_terms_zero_at_equilibrium_geometry(self):
+        atoms, box, topology = water_system(8, rng=4)
+        water = WaterReference(topology, cutoff=6.0)
+        forces = np.zeros_like(atoms.positions)
+        per_atom = np.zeros(len(atoms))
+        bond_energy = water._bond_terms(atoms, box, forces, per_atom)
+        angle_energy = water._angle_terms(atoms, box, forces, per_atom)
+        assert bond_energy == pytest.approx(0.0, abs=1e-8)
+        assert angle_energy == pytest.approx(0.0, abs=1e-8)
+
+    def test_total_force_is_zero(self):
+        atoms, box, topology = water_system(27, rng=5)
+        water = WaterReference(topology, cutoff=4.5)
+        data = build_neighbor_data(atoms.positions, box, 4.5)
+        total = water.compute(atoms, box, data).forces.sum(axis=0)
+        np.testing.assert_allclose(total, 0.0, atol=1e-9)
+
+
+class TestHelpers:
+    def test_accumulate_pair_forces_newton(self):
+        pairs = np.array([[0, 1]])
+        pair_forces = np.array([[1.0, 0.0, 0.0]])
+        forces = accumulate_pair_forces(2, pairs, pair_forces)
+        np.testing.assert_allclose(forces[0], [1.0, 0.0, 0.0])
+        np.testing.assert_allclose(forces[1], [-1.0, 0.0, 0.0])
+
+    def test_momentum_conservation_all_fields(self, small_copper):
+        atoms, box = small_copper
+        for ff in (LennardJones(0.05, 2.3, 5.0), MorsePotential(cutoff=5.0), GuptaPotential(cutoff=5.0)):
+            data = build_neighbor_data(atoms.positions, box, 5.0)
+            total = ff.compute(atoms, box, data).forces.sum(axis=0)
+            np.testing.assert_allclose(total, 0.0, atol=1e-9)

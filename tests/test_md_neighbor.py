@@ -1,0 +1,116 @@
+"""Neighbour-list construction: correctness and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import Box, NeighborList, copper_system
+from repro.md.neighbor import build_neighbor_data, _brute_force_pairs, _cell_list_pairs
+
+
+def brute_force_reference(positions, box, cutoff):
+    n = len(positions)
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if box.distance(positions[i], positions[j]) <= cutoff:
+                pairs.add((i, j))
+    return pairs
+
+
+class TestNeighborData:
+    def test_pairs_match_reference_small_system(self):
+        atoms, box = copper_system((2, 2, 2), perturbation=0.05, rng=0)
+        cutoff = 3.0
+        data = build_neighbor_data(atoms.positions, box, cutoff)
+        reference = brute_force_reference(atoms.positions, box, cutoff)
+        found = {(int(i), int(j)) for i, j in data.pairs}
+        assert found == reference
+
+    def test_padded_list_consistent_with_pairs(self):
+        atoms, box = copper_system((3, 3, 3), rng=1)
+        data = build_neighbor_data(atoms.positions, box, 4.0)
+        # every (i, j) pair appears in both atoms' padded rows
+        for i, j in data.pairs[:200]:
+            assert j in data.neighbors_of(int(i))
+            assert i in data.neighbors_of(int(j))
+        # counts match the number of non-padding entries
+        assert np.all((data.neighbors >= 0).sum(axis=1) == data.counts)
+
+    def test_full_list_is_symmetric(self):
+        atoms, box = copper_system((3, 3, 3), perturbation=0.03, rng=2)
+        data = build_neighbor_data(atoms.positions, box, 4.5)
+        assert data.counts.sum() == 2 * len(data.pairs)
+
+    def test_fcc_coordination_number(self):
+        # Perfect FCC: 12 nearest neighbours within a cutoff between 1st and 2nd shell.
+        atoms, box = copper_system((3, 3, 3))
+        first_shell = 3.615 / np.sqrt(2.0)
+        data = build_neighbor_data(atoms.positions, box, 0.5 * (first_shell + 3.615))
+        assert np.all(data.counts == 12)
+
+    def test_cell_list_agrees_with_brute_force(self):
+        rng = np.random.default_rng(3)
+        box = Box.cubic(20.0)
+        positions = rng.uniform(0, 20.0, size=(400, 3))
+        cutoff = 3.0
+        bi, bj = _brute_force_pairs(positions, box, cutoff)
+        ci, cj = _cell_list_pairs(positions, box, cutoff)
+        brute = {(int(a), int(b)) for a, b in zip(bi, bj)}
+        cell = {(int(min(a, b)), int(max(a, b))) for a, b in zip(ci, cj)}
+        assert brute == cell
+
+    def test_cutoff_exceeding_minimum_image_raises(self):
+        atoms, box = copper_system((2, 2, 2))
+        with pytest.raises(ValueError):
+            build_neighbor_data(atoms.positions, box, 5.0)
+
+    def test_invalid_parameters(self):
+        atoms, box = copper_system((3, 3, 3))
+        with pytest.raises(ValueError):
+            build_neighbor_data(atoms.positions, box, -1.0)
+        with pytest.raises(ValueError):
+            build_neighbor_data(atoms.positions, box, 3.0, skin=-0.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 60))
+    def test_property_random_configurations_match_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        box = Box.cubic(8.0)
+        positions = rng.uniform(0, 8.0, size=(n, 3))
+        cutoff = 2.5
+        data = build_neighbor_data(positions, box, cutoff)
+        reference = brute_force_reference(positions, box, cutoff)
+        assert {(int(i), int(j)) for i, j in data.pairs} == reference
+
+
+class TestNeighborList:
+    def test_skin_avoids_rebuild_for_small_moves(self):
+        atoms, box = copper_system((3, 3, 3), rng=4)
+        nlist = NeighborList(cutoff=4.0, skin=1.0, rebuild_every=1000)
+        nlist.build(atoms, box)
+        atoms.positions += 0.1  # well below skin/2
+        _, rebuilt = nlist.maybe_rebuild(atoms, box)
+        assert not rebuilt
+        atoms.positions += 2.0
+        _, rebuilt = nlist.maybe_rebuild(atoms, box)
+        assert rebuilt
+
+    def test_rebuild_every_forces_refresh(self):
+        atoms, box = copper_system((3, 3, 3), rng=5)
+        nlist = NeighborList(cutoff=4.0, skin=1.0, rebuild_every=5)
+        nlist.build(atoms, box)
+        rebuilds = 0
+        for _ in range(11):
+            _, rebuilt = nlist.maybe_rebuild(atoms, box)
+            rebuilds += int(rebuilt)
+        assert rebuilds == 2
+        assert nlist.n_builds == 3
+
+    def test_atom_count_change_triggers_rebuild(self):
+        atoms, box = copper_system((3, 3, 3), rng=6)
+        nlist = NeighborList(cutoff=4.0, skin=1.0)
+        nlist.build(atoms, box)
+        smaller = atoms.select(np.arange(len(atoms) - 1))
+        assert nlist.needs_rebuild(smaller, box)

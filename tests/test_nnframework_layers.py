@@ -1,0 +1,128 @@
+"""Layers, optimizers and the session overhead accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nnframework import MLP, Adam, Dense, SGD, Session, Tensor, ops
+from repro.nnframework.initializers import constant, glorot_uniform, he_normal, zeros
+from repro.nnframework.session import DEFAULT_SESSION_OVERHEAD_S
+from repro.nnframework.tensor import collect_parameters
+
+
+def test_dense_shapes_and_parameters():
+    layer = Dense(3, 5, rng=0)
+    out = layer(Tensor(np.zeros((7, 3))))
+    assert out.shape == (7, 5)
+    assert len(layer.parameters()) == 2
+
+
+def test_dense_invalid_arguments():
+    with pytest.raises(ValueError):
+        Dense(0, 3)
+    with pytest.raises(ValueError):
+        Dense(3, 3, activation="nope")
+
+
+def test_dense_set_weights_validation():
+    layer = Dense(2, 3, rng=0)
+    with pytest.raises(ValueError):
+        layer.set_weights(np.zeros((3, 2)), np.zeros(3))
+    layer.set_weights(np.ones((2, 3)), np.zeros(3))
+    np.testing.assert_allclose(layer.weight.data, 1.0)
+
+
+def test_mlp_resnet_skip_applied_for_equal_widths():
+    mlp = MLP(4, [4], out_features=None, activation="linear", resnet=True, rng=0)
+    # zero the weights: with a skip connection the output equals the input
+    mlp.layers[0].set_weights(np.zeros((4, 4)), np.zeros(4))
+    x = np.arange(8.0).reshape(2, 4)
+    out = mlp(Tensor(x))
+    np.testing.assert_allclose(out.data, x)
+
+
+def test_mlp_doubling_resnet_concatenates_input():
+    mlp = MLP(3, [6], out_features=None, activation="linear", resnet=True, rng=0)
+    mlp.layers[0].set_weights(np.zeros((3, 6)), np.zeros(6))
+    x = np.arange(6.0).reshape(2, 3)
+    out = mlp(Tensor(x))
+    np.testing.assert_allclose(out.data, np.concatenate([x, x], axis=1))
+
+
+def test_mlp_export_weights_structure():
+    mlp = MLP(2, [4, 4], out_features=1, rng=1)
+    exported = mlp.export_weights()
+    assert len(exported) == 3
+    assert exported[0]["weight"].shape == (2, 4)
+    assert exported[1]["resnet"] is True
+    assert exported[-1]["weight"].shape == (4, 1)
+
+
+def test_sgd_and_adam_reduce_loss_on_regression():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(64, 3))
+    Y = np.sin(X.sum(axis=1, keepdims=True))
+
+    for optimizer_cls, lr in ((SGD, 5e-2), (Adam, 1e-2)):
+        mlp = MLP(3, [12, 12], out_features=1, rng=2)
+        optimizer = optimizer_cls(mlp.parameters(), lr=lr)
+        first = None
+        for _ in range(80):
+            optimizer.zero_grad()
+            loss = ops.mse_loss(mlp(Tensor(X)), Tensor(Y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.5 * first
+
+
+def test_optimizer_rejects_empty_parameter_list():
+    with pytest.raises(ValueError):
+        Adam([Tensor(np.zeros(2))])  # not trainable
+
+
+def test_adam_lr_validation_and_update():
+    mlp = MLP(2, [4], out_features=1, rng=0)
+    opt = Adam(mlp.parameters(), lr=1e-3)
+    with pytest.raises(ValueError):
+        opt.set_lr(0.0)
+    opt.set_lr(5e-4)
+    assert opt.lr == pytest.approx(5e-4)
+
+
+def test_initializers_shapes_and_ranges():
+    w = glorot_uniform((10, 20), rng=0)
+    assert w.shape == (10, 20)
+    assert np.abs(w).max() <= np.sqrt(6.0 / 30.0) + 1e-12
+    assert he_normal((5, 5), rng=0).shape == (5, 5)
+    np.testing.assert_allclose(zeros((2, 2)), 0.0)
+    np.testing.assert_allclose(constant(3.0)((2,)), 3.0)
+
+
+def test_collect_parameters_deduplicates():
+    mlp = MLP(2, [4], out_features=1, rng=0)
+    params = collect_parameters([mlp, mlp, mlp.layers[0].weight])
+    assert len(params) == len(mlp.parameters())
+
+
+def test_session_accounts_fixed_overhead():
+    session = Session(overhead_seconds=4e-3)
+    result = session.run(lambda: 42)
+    assert result == 42
+    assert session.stats.runs == 1
+    assert session.stats.modeled_overhead_seconds == pytest.approx(4e-3)
+    # a trivial callable: nearly all modelled time is framework overhead
+    assert session.overhead_fraction() > 0.6
+    session.reset()
+    assert session.stats.runs == 0
+
+
+def test_session_default_overhead_matches_paper():
+    assert DEFAULT_SESSION_OVERHEAD_S == pytest.approx(4.0e-3)
+
+
+def test_session_kernel_tracking():
+    session = Session(track_kernels=True)
+    out = session.run(lambda: ("result", 7))
+    assert out == "result"
+    assert session.stats.kernel_calls == 7

@@ -1,0 +1,286 @@
+"""Topology, decomposition, ghost geometry, schemes, load balance, simulated exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.systems import copper_spec
+from repro.md import Box, copper_system
+from repro.parallel import (
+    GhostExchangeSimulator,
+    IntraNodeLoadBalancer,
+    RankTopology,
+    RdmaBufferManager,
+    SpatialDecomposition,
+    ThreadingModel,
+    build_scheme,
+    ghost_count_load_balanced,
+    ghost_count_original,
+    layers_for_cutoff,
+)
+from repro.parallel.ghost import ghost_overhead_ratio, ghost_shell_ranks, neighbor_count, overlap_volume
+from repro.parallel.loadbalance import pair_time_model
+from repro.parallel.schemes import SCHEME_NAMES, ExchangeContext
+
+
+class TestTopology:
+    def test_paper_topology_sizes(self):
+        topo = RankTopology.for_nodes(96)
+        assert topo.n_nodes == 96
+        assert topo.ranks_per_node == 4
+        assert topo.n_ranks == 384
+        assert topo.n_cores == 4608
+        topo12k = RankTopology.for_nodes(12000)
+        assert topo12k.n_nodes == 12000
+        assert topo12k.n_cores == 576_000  # the paper's 576K cores
+
+    def test_unknown_node_count_raises(self):
+        with pytest.raises(KeyError):
+            RankTopology.for_nodes(1000)
+
+    def test_rank_coordinate_roundtrip_and_node_mapping(self):
+        topo = RankTopology((2, 3, 2))
+        for rank in range(topo.n_ranks):
+            coord = topo.rank_coord(rank)
+            assert topo.rank_index(coord) == rank
+        # ranks of a node are distinct and map back to that node
+        for node in ((0, 0, 0), (1, 2, 1)):
+            ranks = topo.ranks_on_node(node)
+            assert len(ranks) == 4
+            assert len(set(ranks)) == 4
+            for rank in ranks:
+                assert topo.node_of_rank(rank) == node
+
+    def test_numa_assignment_covers_all_domains(self):
+        topo = RankTopology((2, 2, 2))
+        numas = {topo.numa_of_rank(r) for r in topo.ranks_on_node((0, 0, 0))}
+        assert numas == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankTopology((0, 1, 1))
+        with pytest.raises(ValueError):
+            RankTopology((1, 1, 1), threads_per_rank=0)
+
+
+class TestDecomposition:
+    def test_counts_sum_to_total(self):
+        atoms, box = copper_system((6, 6, 6), perturbation=0.05, rng=0)
+        topo = RankTopology((2, 2, 2))
+        decomposition = SpatialDecomposition(box, topo)
+        stats = decomposition.rank_counts(atoms.positions)
+        assert stats.total == len(atoms)
+        node_stats = decomposition.node_counts(atoms.positions)
+        assert node_stats.total == len(atoms)
+
+    def test_rank_bounds_partition_box(self):
+        box = Box.cubic(16.0)
+        topo = RankTopology((2, 2, 2))
+        decomposition = SpatialDecomposition(box, topo)
+        lower, upper = decomposition.rank_bounds(0)
+        np.testing.assert_allclose(lower, 0.0)
+        np.testing.assert_allclose(upper, box.lengths / np.array(topo.rank_dims))
+
+    def test_sdmr_zero_for_equal_counts(self):
+        from repro.parallel.decomposition import DecompositionStats
+
+        stats = DecompositionStats(np.full(10, 7))
+        assert stats.sdmr_percent == 0.0
+        assert stats.summary()["max"] == 7
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_every_atom_assigned_to_exactly_one_rank(self, seed):
+        rng = np.random.default_rng(seed)
+        box = Box.cubic(12.0)
+        positions = rng.uniform(0, 12.0, size=(200, 3))
+        decomposition = SpatialDecomposition(box, RankTopology((2, 2, 2)))
+        ranks = decomposition.assign_to_ranks(positions)
+        assert np.all((ranks >= 0) & (ranks < decomposition.topology.n_ranks))
+        assert decomposition.rank_counts(positions).total == 200
+
+
+class TestGhostGeometry:
+    def test_layers_for_cutoff(self):
+        assert layers_for_cutoff([8.0, 8.0, 8.0], 8.0) == (1, 1, 1)
+        assert layers_for_cutoff([4.0, 4.0, 8.0], 8.0) == (2, 2, 1)
+        assert layers_for_cutoff([4.0, 4.0, 4.0], 8.0) == (2, 2, 2)
+
+    def test_neighbor_counts_match_paper(self):
+        assert neighbor_count((1, 1, 1)) == 26
+        assert neighbor_count((2, 2, 1)) == 74
+        assert neighbor_count((2, 2, 2)) == 124
+
+    def test_ghost_shell_ranks_dedup_on_small_grid(self):
+        shell = ghost_shell_ranks((0, 0, 0), (3, 3, 3), (1, 1, 1))
+        assert len(shell) == 26
+        aliased = ghost_shell_ranks((0, 0, 0), (2, 2, 2), (1, 1, 1))
+        assert len(aliased) == 7  # 2x2x2 torus: only 7 other nodes exist
+
+    def test_overlap_volume_face_edge_corner(self):
+        sub = [8.0, 8.0, 8.0]
+        face = overlap_volume((1, 0, 0), sub, 8.0)
+        edge = overlap_volume((1, 1, 0), sub, 8.0)
+        corner = overlap_volume((1, 1, 1), sub, 8.0)
+        assert face == pytest.approx(8.0 * 8.0 * 8.0)
+        assert edge == pytest.approx(8.0 * 8.0 * 8.0)
+        assert corner == pytest.approx(8.0 ** 3)
+        # second-layer neighbour only contributes the remaining sliver
+        assert overlap_volume((2, 0, 0), [4.0, 4.0, 4.0], 6.0) == pytest.approx(2.0 * 4.0 * 4.0)
+
+    def test_ghost_count_equations_and_ratio(self):
+        # the paper's example: a = 0.5 r gives ~1.44x more ghosts with load balance
+        ratio = ghost_overhead_ratio(0.5, 1.0)
+        assert ratio == pytest.approx(1.44, abs=0.05)
+        assert ghost_count_load_balanced(1.0, 1.0) > ghost_count_original(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ghost_count_original(-1.0, 1.0)
+
+
+class TestSchemes:
+    def _context(self, factors, cutoff=8.0):
+        topo = RankTopology((4, 6, 4))
+        return ExchangeContext.from_subbox_factors(topo, cutoff, factors, copper_spec().atom_density)
+
+    def test_paper_neighbor_counts(self):
+        ctx = self._context((0.5, 0.5, 0.5))
+        p2p = build_scheme("p2p-utofu").plan(ctx)
+        node = build_scheme("lb-4l").plan(ctx)
+        assert p2p.notes["n_neighbors"] == 124
+        assert node.notes["n_neighbor_nodes"] == 44
+        assert node.notes["messages_per_rank"] == pytest.approx(11.0)
+        ctx_1l = self._context((1, 1, 1))
+        assert build_scheme("p2p-utofu").plan(ctx_1l).notes["n_neighbors"] == 26
+        assert build_scheme("lb-4l").plan(ctx_1l).notes["n_neighbor_nodes"] == 26
+
+    def test_three_stage_rounds_match_layers(self):
+        ctx = self._context((0.5, 0.5, 1))
+        plan = build_scheme("baseline").plan(ctx)
+        # layers (2,2,1): 5 sequential rounds with 2 messages each
+        assert len(plan.rounds) == 5
+        assert all(r.n_messages == 2 for r in plan.rounds)
+        assert not plan.use_rdma
+        assert plan.ranks_sharing_network == 4
+
+    def test_node_scheme_properties(self):
+        ctx = self._context((0.5, 0.5, 0.5))
+        plan = build_scheme("lb-4l").plan(ctx)
+        assert plan.use_rdma
+        assert plan.ranks_sharing_network == 1
+        assert plan.n_intra_node_syncs == 2
+        assert plan.registered_regions is None  # memory pool
+        assert len(plan.gather_bytes_per_rank) == 4
+        assert plan.total_message_bytes > 0
+
+    def test_all_scheme_names_buildable(self):
+        ctx = self._context((1, 1, 1))
+        for name in SCHEME_NAMES:
+            plan = build_scheme(name).plan(ctx)
+            assert plan.scheme == name
+        with pytest.raises(KeyError):
+            build_scheme("telepathy")
+
+    def test_leader_variants_differ_in_threads(self):
+        ctx = self._context((0.5, 0.5, 0.5))
+        lb1 = build_scheme("lb-1l").plan(ctx)
+        lb4 = build_scheme("lb-4l").plan(ctx)
+        sg = build_scheme("sg-lb-4l").plan(ctx)
+        assert lb1.copy_threads < lb4.copy_threads
+        assert sg.rounds[0].threads == 4
+        assert lb4.rounds[0].threads == 24
+
+
+class TestLoadBalance:
+    def _setup(self, atoms_per_core=1):
+        spec = copper_spec()
+        topo = RankTopology((4, 6, 4))
+        n_atoms = int(topo.n_cores * atoms_per_core)
+        positions, box = spec.build_positions(n_atoms, rng=0)
+        decomposition = SpatialDecomposition(box, topo)
+        return positions, IntraNodeLoadBalancer(decomposition)
+
+    def test_atom_conservation(self):
+        positions, balancer = self._setup()
+        without = balancer.rank_counts_without_balance(positions)
+        with_lb = balancer.rank_counts_with_balance(positions)
+        assert without.sum() == len(positions)
+        assert with_lb.sum() == len(positions)
+
+    def test_balance_reduces_dispersion_and_maximum(self):
+        positions, balancer = self._setup()
+        without = balancer.rank_counts_without_balance(positions)
+        with_lb = balancer.rank_counts_with_balance(positions)
+        assert with_lb.max() <= without.max()
+        assert with_lb.std() < without.std()
+        assert balancer.dispersion_reduction(positions) > 0.2
+
+    def test_node_box_split_is_even(self):
+        positions, balancer = self._setup(atoms_per_core=2)
+        counts = balancer.rank_counts_with_balance(positions)
+        topo = balancer.decomposition.topology
+        for node_index in range(0, topo.n_nodes, 17):
+            coord = (
+                node_index // (topo.node_dims[1] * topo.node_dims[2]),
+                (node_index // topo.node_dims[2]) % topo.node_dims[1],
+                node_index % topo.node_dims[2],
+            )
+            ranks = topo.ranks_on_node(coord)
+            node_counts = counts[ranks]
+            assert node_counts.max() - node_counts.min() <= 1
+
+    def test_pair_time_model_scaling(self):
+        times = pair_time_model(np.array([1, 2, 4]), per_atom_time=1.0e-3, jitter_fraction=0.0)
+        np.testing.assert_allclose(times, [1e-3, 2e-3, 4e-3])
+        with pytest.raises(ValueError):
+            pair_time_model(np.array([1]), per_atom_time=0.0)
+
+    def test_compare_summary_structure(self):
+        positions, balancer = self._setup()
+        comparison = balancer.compare(positions, per_atom_time=1e-4, rng=1)
+        for key in ("no", "yes"):
+            summary = comparison[key].summary()
+            assert {"natom", "pair"} <= set(summary)
+            assert summary["natom"]["max"] >= summary["natom"]["min"]
+
+
+class TestGhostExchangeSimulator:
+    def test_p2p_exact_and_node_covers(self):
+        atoms, box = copper_system((6, 6, 6), perturbation=0.05, rng=1)
+        topo = RankTopology((2, 2, 2))
+        decomposition = SpatialDecomposition(box, topo)
+        simulator = GhostExchangeSimulator(decomposition, cutoff=5.0)
+        for rank in (0, 7, 13):
+            checks = simulator.verify_rank(rank, atoms.positions)
+            assert checks["p2p_exact"]
+            assert checks["node_covers"]
+            assert checks["node_size"] >= checks["reference_size"]
+
+
+class TestMemoryPoolAndThreading:
+    def test_buffer_manager_regions(self):
+        pooled = RdmaBufferManager(pooled=True)
+        pooled.allocate_for_neighbors(124, 8)
+        assert pooled.registered_regions == 1
+        unpooled = RdmaBufferManager(pooled=False)
+        unpooled.allocate_for_neighbors(124, 8)
+        assert unpooled.registered_regions == 248
+        assert unpooled.per_message_penalty() > pooled.per_message_penalty()
+        assert pooled.total_registered_bytes == unpooled.total_registered_bytes
+        pooled.reset()
+        assert pooled.registered_regions == 0
+
+    def test_buffer_manager_validation(self):
+        manager = RdmaBufferManager()
+        with pytest.raises(ValueError):
+            manager.allocate(0, -5)
+        with pytest.raises(ValueError):
+            manager.allocate(0, 8, "sideways")
+
+    def test_threadpool_cheaper_than_openmp(self):
+        openmp = ThreadingModel("openmp")
+        pool = ThreadingModel("threadpool")
+        assert pool.per_step_overhead() < openmp.per_step_overhead()
+        assert pool.speedup_over(openmp) > 1.0
+        with pytest.raises(ValueError):
+            ThreadingModel("green-threads")

@@ -1,0 +1,96 @@
+"""Utilities: RNG helpers, timers, tables."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, random_unit_vectors, spawn_rngs
+from repro.utils.tables import Table, format_table
+from repro.utils.timer import PhaseTimer, Timer
+
+
+def test_default_rng_passthrough():
+    rng = np.random.default_rng(0)
+    assert default_rng(rng) is rng
+
+
+def test_default_rng_seed_reproducible():
+    a = default_rng(42).random(5)
+    b = default_rng(42).random(5)
+    np.testing.assert_allclose(a, b)
+
+
+def test_spawn_rngs_independent_streams():
+    streams = spawn_rngs(7, 3)
+    values = [s.random(4) for s in streams]
+    assert not np.allclose(values[0], values[1])
+    assert not np.allclose(values[1], values[2])
+
+
+def test_spawn_rngs_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_random_unit_vectors_are_normalized():
+    vectors = random_unit_vectors(default_rng(1), 100)
+    norms = np.linalg.norm(vectors, axis=1)
+    np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+
+def test_timer_accumulates():
+    timer = Timer()
+    with timer:
+        time.sleep(0.01)
+    assert timer.elapsed > 0.005
+
+
+def test_timer_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_phase_timer_fractions_sum_to_one():
+    timers = PhaseTimer()
+    timers.add("pair", 3.0)
+    timers.add("comm", 1.0)
+    assert timers.total() == pytest.approx(4.0)
+    assert timers.fraction("pair") == pytest.approx(0.75)
+    assert "pair" in timers.summary()
+
+
+def test_phase_timer_merge():
+    a = PhaseTimer()
+    a.add("pair", 1.0)
+    b = PhaseTimer()
+    b.add("pair", 2.0)
+    b.add("comm", 1.0)
+    merged = a.merge(b)
+    assert merged.totals["pair"] == pytest.approx(3.0)
+    assert merged.totals["comm"] == pytest.approx(1.0)
+
+
+def test_table_roundtrip_and_column():
+    table = Table(headers=["a", "b"], title="t")
+    table.add_row(1, 2.5)
+    table.add_row(3, 4.5)
+    assert len(table) == 2
+    assert table.column("b") == [2.5, 4.5]
+    text = table.to_text()
+    assert "a" in text and "4.5" in text
+    records = table.to_records()
+    assert records[0] == {"a": 1, "b": 2.5}
+
+
+def test_table_row_length_validation():
+    table = Table(headers=["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+    with pytest.raises(KeyError):
+        table.column("missing")
+
+
+def test_format_table_mismatched_row_raises():
+    with pytest.raises(ValueError):
+        format_table(["x"], [[1, 2]])
