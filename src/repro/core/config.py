@@ -31,6 +31,10 @@ class OptimizationConfig:
     compressed_embedding:
         use the tabulated (compressed) embedding nets (both the baseline of
         Guo et al. and the optimized code enable this).
+    batched_inference:
+        evaluate all atoms of a thread as one batched call (the vectorized
+        hot path); ``False`` models atom-at-a-time inference, where every
+        fitting-net GEMM degenerates to M=1.
     comm_scheme:
         one of :data:`repro.parallel.schemes.SCHEME_NAMES`.
     load_balance:
@@ -49,6 +53,7 @@ class OptimizationConfig:
     gemm_backend: str = "sve"
     pretranspose: bool = True
     compressed_embedding: bool = True
+    batched_inference: bool = True
     comm_scheme: str = "lb-4l"
     load_balance: bool = True
     threading: str = "threadpool"

@@ -129,6 +129,7 @@ class DeepMDEngine:
             compressed=config.compressed_embedding,
             pretranspose=config.pretranspose,
             framework=config.use_framework,
+            batched=config.batched_inference,
             threading_overhead=threading.per_step_overhead(),
         )
 

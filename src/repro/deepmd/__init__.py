@@ -5,8 +5,12 @@ DeePMD-kit evaluates inside LAMMPS:
 
 * :mod:`smoothing` — the switching function s(r) defining the smoothed
   environment matrix,
-* :mod:`envmat` — per-atom local environment matrices R_i built from the MD
-  engine's neighbour lists (with the paper's per-type pre-classification),
+* :mod:`envmat` — local environment matrices R_i for all atoms at once,
+  built as batched NumPy from the MD engine's padded neighbour lists (with
+  the paper's per-type pre-classification),
+* :mod:`scalar` — the loop-based golden reference (per-atom environment
+  build and per-atom inference) that the parity test suite pins the
+  vectorized hot path to,
 * :mod:`embedding` / :mod:`fitting` — the embedding and fitting networks
   (framework-backed for training, exportable to fast NumPy kernels),
 * :mod:`descriptor` — the symmetry-preserving descriptor D_i and its
@@ -24,6 +28,7 @@ DeePMD-kit evaluates inside LAMMPS:
 
 from .smoothing import switching_function, switching_derivative
 from .envmat import LocalEnvironment, build_local_environment
+from .scalar import build_local_environment_scalar, evaluate_scalar
 from .gemm import GemmBackend, GemmStats
 from .networks import FastMLP
 from .precision import PrecisionPolicy, DOUBLE, MIX_FP32, MIX_FP16
@@ -40,6 +45,8 @@ __all__ = [
     "switching_derivative",
     "LocalEnvironment",
     "build_local_environment",
+    "build_local_environment_scalar",
+    "evaluate_scalar",
     "GemmBackend",
     "GemmStats",
     "FastMLP",

@@ -128,39 +128,53 @@ def build_local_environment(
 
     # Compact each row to the leading slots, optionally grouped by type then
     # by distance (deterministic ordering aids reproducibility and mirrors the
-    # paper's pre-classified layout).
+    # paper's pre-classified layout).  The whole compaction runs as one global
+    # lexsort over all (centre, slot) pairs — no Python-level per-atom loop.
+    # The scalar per-atom version of this layout lives in
+    # :mod:`repro.deepmd.scalar` and pins this implementation in the parity
+    # test suite.
     nei_types_raw = np.where(slot_valid, types[safe_idx], -1)
+    width = nei.shape[1]
+
+    # Budget truncation: among the in-cutoff slots of each row, keep the
+    # ``n_pad`` closest (distance ties broken by slot order, as the scalar
+    # reference does with its stable argsort).
+    dist_key = np.where(within, dist, np.inf)
+    order_by_dist = np.argsort(dist_key, axis=1, kind="stable")
+    rank = np.empty((n, width), dtype=np.int64)
+    np.put_along_axis(
+        rank, order_by_dist, np.broadcast_to(np.arange(width), (n, width)), axis=1
+    )
+    kept = within & (rank < n_pad)
+
+    # One global stable lexsort: row-major, valid slots first, then by
+    # (type, distance) or by distance alone; remaining ties fall back to the
+    # original slot order via stability.
+    type_key = nei_types_raw if sort_neighbors_by_type else np.zeros_like(nei_types_raw)
+    rows = np.repeat(np.arange(n), width)
+    perm = np.lexsort((dist.ravel(), type_key.ravel(), (~kept).ravel(), rows))
+
+    # After the sort, position p belongs to centre p // width; the kept slots
+    # of each centre occupy its leading positions, i.e. output slot p % width.
+    pos = np.nonzero(kept.ravel()[perm])[0]
+    src = perm[pos]
+    out_r = pos // width
+    out_s = pos % width
+    src_r = src // width
+    src_c = src % width
 
     R = np.zeros((n, n_pad, 4))
     displacements = np.zeros((n, n_pad, 3))
     distances = np.zeros((n, n_pad))
-    s_values = np.zeros((n, n_pad))
-    ds_values = np.zeros((n, n_pad))
     mask = np.zeros((n, n_pad))
     neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)
     neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)
 
-    for i in range(n):
-        cols = np.nonzero(within[i])[0]
-        if len(cols) == 0:
-            continue
-        if len(cols) > n_pad:
-            # Keep the closest neighbours if the padding budget is exceeded.
-            order = np.argsort(dist[i, cols], kind="stable")
-            cols = cols[order[:n_pad]]
-        if sort_neighbors_by_type:
-            order = np.lexsort((dist[i, cols], nei_types_raw[i, cols]))
-        else:
-            order = np.argsort(dist[i, cols], kind="stable")
-        cols = cols[order]
-        m = len(cols)
-        d = disp[i, cols]
-        r = dist[i, cols]
-        displacements[i, :m] = d
-        distances[i, :m] = r
-        neighbor_indices[i, :m] = nei[i, cols]
-        neighbor_types[i, :m] = nei_types_raw[i, cols]
-        mask[i, :m] = 1.0
+    displacements[out_r, out_s] = disp[src_r, src_c]
+    distances[out_r, out_s] = dist[src_r, src_c]
+    neighbor_indices[out_r, out_s] = nei[src_r, src_c]
+    neighbor_types[out_r, out_s] = nei_types_raw[src_r, src_c]
+    mask[out_r, out_s] = 1.0
 
     s_values = switching_function(distances, cutoff, cutoff_smooth) * mask
     ds_values = switching_derivative(distances, cutoff, cutoff_smooth) * mask

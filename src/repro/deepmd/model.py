@@ -93,6 +93,7 @@ class ModelOutput:
     forces: np.ndarray
     precision: str
     used_framework: bool = False
+    virial: np.ndarray | None = None
 
 
 class DeepPotential:
@@ -206,6 +207,7 @@ class DeepPotential:
         n = env.n_atoms
         per_atom = np.zeros(n)
         forces = np.zeros((n, 3))
+        virial = np.zeros((3, 3))
 
         for ti in range(self.n_types):
             idx = np.nonzero(env.types == ti)[0]
@@ -214,6 +216,7 @@ class DeepPotential:
             energies_t, g_d, sub = self._per_type_fast(env, ti, idx, policy, backend, compressed)
             per_atom[idx] = energies_t
             self._scatter_forces(forces, idx, sub, g_d)
+            virial -= np.einsum("bni,bnj->ij", sub.displacements, g_d)
 
         return ModelOutput(
             energy=float(per_atom.sum()),
@@ -221,6 +224,7 @@ class DeepPotential:
             forces=forces,
             precision=policy.name,
             used_framework=False,
+            virial=virial,
         )
 
     def _per_type_fast(
@@ -303,6 +307,26 @@ class DeepPotential:
         return energies, g_d, sub
 
     # ---------------------------------------------------------------------------
+    # Golden scalar reference evaluation
+    # ---------------------------------------------------------------------------
+    def evaluate_scalar(
+        self,
+        atoms: Atoms,
+        box: Box,
+        neighbors: NeighborData,
+        environment: LocalEnvironment | None = None,
+    ) -> ModelOutput:
+        """Per-atom loop-based reference path (see :mod:`repro.deepmd.scalar`).
+
+        Orders of magnitude slower than :meth:`evaluate`; exists as the golden
+        implementation the vectorized hot path is pinned to by the parity
+        suite and the inference benchmark.
+        """
+        from .scalar import evaluate_scalar
+
+        return evaluate_scalar(self, atoms, box, neighbors, environment=environment)
+
+    # ---------------------------------------------------------------------------
     # Baseline ("framework") evaluation
     # ---------------------------------------------------------------------------
     def evaluate_with_framework(
@@ -325,6 +349,7 @@ class DeepPotential:
         n = env.n_atoms
         per_atom = np.zeros(n)
         forces = np.zeros((n, 3))
+        virial = np.zeros((3, 3))
 
         for ti in range(self.n_types):
             idx = np.nonzero(env.types == ti)[0]
@@ -356,6 +381,7 @@ class DeepPotential:
             grad_r = np.transpose(graph.r_transpose_input.grad, (0, 2, 1))
             g_d = self._geometric_chain(sub, grad_r, grad_s_embed)
             self._scatter_forces(forces, idx, sub, g_d)
+            virial -= np.einsum("bni,bnj->ij", sub.displacements, g_d)
 
         return ModelOutput(
             energy=float(per_atom.sum()),
@@ -363,6 +389,7 @@ class DeepPotential:
             forces=forces,
             precision=DOUBLE.name,
             used_framework=True,
+            virial=virial,
         )
 
     # ---------------------------------------------------------------------------

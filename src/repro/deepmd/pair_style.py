@@ -30,20 +30,35 @@ class DeepPotentialForceField(ForceField):
         gemm_backend: GemmBackend | None = None,
         compressed: bool = False,
         use_framework: bool = False,
+        use_scalar_reference: bool = False,
         session: Session | None = None,
     ) -> None:
+        if use_framework and use_scalar_reference:
+            raise ValueError("choose at most one of use_framework / use_scalar_reference")
         self.model = model
         self.precision = get_policy(precision)
         self.backend = gemm_backend or GemmBackend()
         self.compressed = bool(compressed)
         self.use_framework = bool(use_framework)
+        self.use_scalar_reference = bool(use_scalar_reference)
         self.session = session or Session()
         self.cutoff = model.config.cutoff
         self.n_evaluations = 0
 
+    @property
+    def path(self) -> str:
+        """Which inference path this pair style drives."""
+        if self.use_scalar_reference:
+            return "scalar-reference"
+        if self.use_framework:
+            return "framework"
+        return "vectorized"
+
     def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
         self.n_evaluations += 1
-        if self.use_framework:
+        if self.use_scalar_reference:
+            output = self.model.evaluate_scalar(atoms, box, neighbors)
+        elif self.use_framework:
             output = self.model.evaluate_with_framework(atoms, box, neighbors, session=self.session)
         else:
             output = self.model.evaluate(
@@ -58,14 +73,22 @@ class DeepPotentialForceField(ForceField):
             energy=output.energy,
             forces=output.forces,
             per_atom_energy=output.per_atom_energy,
+            virial=output.virial,
         )
 
     def describe(self) -> dict[str, object]:
-        """A summary of the active configuration (useful in reports)."""
+        """A summary of the *effective* configuration (useful in reports).
+
+        The scalar-reference path always runs double-precision, uncompressed,
+        with plain NumPy products, whatever was configured — the description
+        reports what actually executes.
+        """
+        scalar = self.use_scalar_reference
         return {
-            "precision": self.precision.name,
-            "gemm": self.backend.kind,
-            "compressed": self.compressed,
+            "path": self.path,
+            "precision": "double" if scalar else self.precision.name,
+            "gemm": "numpy-loop" if scalar else self.backend.kind,
+            "compressed": False if scalar else self.compressed,
             "framework": self.use_framework,
             "cutoff": self.cutoff,
             "n_parameters": self.model.n_parameters(),

@@ -59,23 +59,38 @@ class ForceField:
         delta: float = 1.0e-5,
     ) -> np.ndarray:
         """Central-difference forces; ``neighbors_builder(atoms)`` must return
-        a fresh :class:`NeighborData` for perturbed coordinates."""
+        a fresh :class:`NeighborData` for perturbed coordinates.
+
+        The stencil and the force table are assembled with array operations;
+        the only remaining loop issues the 6n independent black-box energy
+        evaluations, reusing one O(n) position buffer per trial instead of a
+        full per-element ``Atoms`` copy.
+        """
         base = atoms.copy()
-        forces = np.zeros_like(base.positions)
-        for i in range(len(base)):
+        n = len(base)
+        if n == 0:
+            return np.zeros((0, 3))
+
+        # bump[axis] is the +delta displacement vector along that axis; the
+        # unperturbed rows are wrapped once up front (wrapping is idempotent,
+        # so this matches wrapping each whole perturbed configuration).
+        bump = delta * np.eye(3)
+        signs = (+1.0, -1.0)
+        wrapped = box.wrap(base.positions)
+
+        trial = base.copy()
+        buffer = np.empty_like(wrapped)
+        energies = np.empty((n, 3, 2))
+        for i in range(n):
             for axis in range(3):
-                for sign, slot in ((+1.0, 0), (-1.0, 1)):
-                    trial = base.copy()
-                    trial.positions[i, axis] += sign * delta
-                    trial.positions = box.wrap(trial.positions)
+                for slot, sign in enumerate(signs):
+                    np.copyto(buffer, wrapped)
+                    buffer[i] = box.wrap(base.positions[i] + sign * bump[axis])
+                    trial.positions = buffer
                     nd = neighbors_builder(trial)
-                    energy = self.compute(trial, box, nd).energy
-                    if slot == 0:
-                        e_plus = energy
-                    else:
-                        e_minus = energy
-                forces[i, axis] = -(e_plus - e_minus) / (2.0 * delta)
-        return forces
+                    energies[i, axis, slot] = self.compute(trial, box, nd).energy
+
+        return -(energies[..., 0] - energies[..., 1]) / (2.0 * delta)
 
 
 def accumulate_pair_forces(

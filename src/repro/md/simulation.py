@@ -34,6 +34,10 @@ class SimulationReport:
     temperatures: np.ndarray
     timers: PhaseTimer
     neighbor_builds: int
+    #: ``describe()`` of the force field, if it provides one — records which
+    #: inference path (e.g. vectorized vs scalar-reference Deep Potential)
+    #: produced this trajectory.
+    force_field_info: dict = field(default_factory=dict)
 
     @property
     def final_potential_energy(self) -> float:
@@ -72,6 +76,7 @@ class Simulation:
             cutoff=cutoff, skin=self.neighbor_skin, rebuild_every=self.neighbor_every
         )
         self._last_energy: float | None = None
+        self.last_virial: np.ndarray | None = None
 
     # -- single force evaluation ------------------------------------------------
     def compute_forces(self) -> float:
@@ -81,6 +86,7 @@ class Simulation:
             result = self.force_field.compute(self.atoms, self.box, data)
         self.atoms.forces = result.forces
         self._last_energy = result.energy
+        self.last_virial = result.virial
         return result.energy
 
     # -- the run loop -------------------------------------------------------------
@@ -121,12 +127,14 @@ class Simulation:
             if trajectory_every and (step % trajectory_every == 0):
                 self.trajectory.append(self.atoms.positions.copy())
 
+        describe = getattr(self.force_field, "describe", None)
         return SimulationReport(
             n_steps=n_steps,
             potential_energies=np.array(energies),
             temperatures=np.array(temperatures),
             timers=self.timers,
             neighbor_builds=self.neighbor_list.n_builds,
+            force_field_info=dict(describe()) if callable(describe) else {},
         )
 
     # -- convenience -----------------------------------------------------------

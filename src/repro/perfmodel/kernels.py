@@ -172,6 +172,7 @@ class KernelCostModel:
         compressed: bool = True,
         pretranspose: bool = True,
         framework: bool = False,
+        batched: bool = True,
         threading_overhead: float = 0.0,
         neighbor_rebuild_every: int = 50,
     ) -> float:
@@ -180,14 +181,16 @@ class KernelCostModel:
         Atoms are distributed over the threads atom-by-atom; the busiest
         thread (``ceil(atoms/threads)``) determines the phase time.  The
         framework's fixed session overhead (one session per thread, running
-        concurrently) adds its full latency once.
+        concurrently) adds its full latency once.  ``batched=False`` models
+        atom-at-a-time inference (every fitting-net GEMM runs with M=1,
+        the scalar-reference layout) instead of the vectorized batch.
         """
         if atoms_on_rank < 0:
             raise ValueError("atom count must be non-negative")
         threads_per_rank = max(1, threads_per_rank)
         atoms_per_thread = math.ceil(atoms_on_rank / threads_per_rank) if atoms_on_rank else 0
         per_atom = self.per_atom_time(
-            atoms_per_thread=max(atoms_per_thread, 1),
+            atoms_per_thread=max(atoms_per_thread, 1) if batched else 1,
             backend=backend,
             precision=precision,
             compressed=compressed,

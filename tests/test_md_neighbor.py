@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.md import Box, NeighborList, copper_system
-from repro.md.neighbor import build_neighbor_data, _brute_force_pairs, _cell_list_pairs
+from repro.md.forcefields import LennardJones
+from repro.md.neighbor import (
+    BRUTE_FORCE_THRESHOLD,
+    build_neighbor_data,
+    _brute_force_pairs,
+    _cell_list_pairs,
+)
 
 
 def brute_force_reference(positions, box, cutoff):
@@ -83,6 +89,80 @@ class TestNeighborData:
         data = build_neighbor_data(positions, box, cutoff)
         reference = brute_force_reference(positions, box, cutoff)
         assert {(int(i), int(j)) for i, j in data.pairs} == reference
+
+
+def _pair_set(pi, pj):
+    return {(int(min(a, b)), int(max(a, b))) for a, b in zip(pi, pj)}
+
+
+class TestCellListBruteForceAgreement:
+    """The two build strategies must agree on both sides of the threshold."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(10, 150),
+        length=st.floats(9.0, 18.0),
+    )
+    def test_property_random_boxes(self, seed, n, length):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0.0, length, size=(n, 3))
+        box = Box.cubic(length)
+        cutoff = 2.8
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+
+    def test_below_threshold_build_matches_cell_list(self):
+        rng = np.random.default_rng(17)
+        n = BRUTE_FORCE_THRESHOLD - 100
+        box = Box.cubic(38.0)
+        positions = rng.uniform(0.0, 38.0, size=(n, 3))
+        cutoff = 3.0
+        data = build_neighbor_data(positions, box, cutoff)  # brute-force branch
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert _pair_set(data.pairs[:, 0], data.pairs[:, 1]) == cell
+
+    def test_above_threshold_build_matches_brute_force(self):
+        rng = np.random.default_rng(18)
+        n = BRUTE_FORCE_THRESHOLD + 100
+        box = Box.cubic(40.0)
+        positions = rng.uniform(0.0, 40.0, size=(n, 3))
+        cutoff = 3.0
+        data = build_neighbor_data(positions, box, cutoff)  # cell-list branch
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        assert _pair_set(data.pairs[:, 0], data.pairs[:, 1]) == brute
+
+
+class TestMDInvariants:
+    """Physics invariants of forces built on top of the neighbour lists."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_forces_sum_to_zero(self, seed):
+        atoms, box = copper_system((2, 2, 2), perturbation=0.12, rng=seed)
+        lj = LennardJones(epsilon=0.4, sigma=2.3, cutoff=3.5)
+        data = build_neighbor_data(atoms.positions, box, lj.cutoff)
+        result = lj.compute(atoms, box, data)
+        np.testing.assert_allclose(result.forces.sum(axis=0), np.zeros(3), atol=1.0e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        shift=st.tuples(
+            st.floats(-8.0, 8.0), st.floats(-8.0, 8.0), st.floats(-8.0, 8.0)
+        ),
+    )
+    def test_energy_translation_invariance(self, seed, shift):
+        atoms, box = copper_system((2, 2, 2), perturbation=0.10, rng=seed)
+        lj = LennardJones(epsilon=0.4, sigma=2.3, cutoff=3.5)
+        data = build_neighbor_data(atoms.positions, box, lj.cutoff)
+        energy = lj.compute(atoms, box, data).energy
+
+        moved = atoms.copy()
+        moved.positions = box.wrap(moved.positions + np.asarray(shift))
+        moved_data = build_neighbor_data(moved.positions, box, lj.cutoff)
+        assert abs(lj.compute(moved, box, moved_data).energy - energy) < 1.0e-9
 
 
 class TestNeighborList:

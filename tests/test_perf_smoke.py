@@ -1,0 +1,64 @@
+"""Perf smoke test: the vectorized inference path must stay fast.
+
+Marked ``slow`` and excluded from the tier-1 run (see ``pytest.ini``); run
+explicitly with::
+
+    PYTHONPATH=src python -m pytest -m slow tests/test_perf_smoke.py -s
+
+The assertion is deliberately loose (2x, against a measured ~30x) so the test
+only fires when someone genuinely reintroduces Python-level per-atom loops
+into the hot path, not on scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.deepmd import DeepPotential, DeepPotentialConfig
+from repro.md import water_system
+from repro.md.neighbor import build_neighbor_data
+
+#: Minimum speedup of the vectorized path over the scalar reference that this
+#: smoke test insists on (the real margin is far larger; see
+#: ``benchmarks/bench_inference_vectorized.py`` for the >= 10x benchmark).
+SMOKE_SPEEDUP = 2.0
+
+
+@pytest.mark.slow
+def test_vectorized_inference_beats_scalar_on_512_atoms():
+    atoms, box, _ = water_system(171, rng=21)  # 513 atoms
+    config = DeepPotentialConfig(
+        type_names=("O", "H"),
+        cutoff=6.0,
+        cutoff_smooth=5.0,
+        embedding_sizes=(8, 16),
+        axis_neurons=4,
+        fitting_sizes=(32, 32),
+        max_neighbors=128,
+        seed=21,
+    )
+    model = DeepPotential(config)
+    neighbors = build_neighbor_data(atoms.positions, box, config.cutoff)
+    model.fast_embeddings()
+    model.fast_fittings()
+
+    t0 = time.perf_counter()
+    out_scalar = model.evaluate_scalar(atoms, box, neighbors)
+    t_scalar = time.perf_counter() - t0
+
+    t_vec = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        out_vec = model.evaluate(atoms, box, neighbors)
+        t_vec = min(t_vec, time.perf_counter() - t0)
+
+    np.testing.assert_allclose(out_vec.forces, out_scalar.forces, atol=1.0e-10)
+    speedup = t_scalar / t_vec
+    print(f"\n512-atom smoke: scalar {t_scalar*1e3:.0f} ms, vectorized {t_vec*1e3:.0f} ms, {speedup:.1f}x")
+    assert speedup >= SMOKE_SPEEDUP, (
+        f"vectorized path only {speedup:.2f}x faster than the scalar reference - "
+        "a Python-level loop has probably crept back into the hot path"
+    )

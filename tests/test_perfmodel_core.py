@@ -72,6 +72,18 @@ class TestKernelCostModel:
         with pytest.raises(ValueError):
             model.per_atom_time(0)
 
+    def test_unbatched_inference_never_beats_batched(self):
+        # atom-at-a-time inference degrades every fitting GEMM to M=1; with a
+        # whole rank of atoms per thread the batched path must win, and with a
+        # single atom per thread the two layouts coincide.
+        model = KernelCostModel(neighbors_per_atom=128)
+        batched = model.rank_compute_time(240, batched=True)
+        unbatched = model.rank_compute_time(240, batched=False)
+        assert unbatched > batched
+        assert model.rank_compute_time(1, batched=False) == pytest.approx(
+            model.rank_compute_time(1, batched=True)
+        )
+
 
 class TestCommCostModel:
     def _context(self, factors):
