@@ -1,0 +1,77 @@
+"""Domain-decomposed engine throughput vs rank count (~1k-atom water box).
+
+Runs the same dynamics on 1, 2, 4 and 8 simulated ranks and reports steps/sec
+plus the measured per-rank pair time.  Because the ranks execute in-process
+the wall-clock does not drop with rank count — what must drop is the *pair
+work each rank performs*, which is exactly the quantity the paper's strong
+scaling rides on.  The assertion pins that sanity curve: the mean per-rank
+pair time shrinks as the domain grid grows.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_engine.py -s
+"""
+
+from __future__ import annotations
+
+from repro.md import water_system
+from repro.md.forcefields.water import WaterReference
+from repro.parallel import DomainDecomposedSimulation
+
+N_MOLECULES = 333  # 999 atoms
+N_STEPS = 10
+GRIDS = [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2)]
+
+
+def _engine(atoms, box, topology, rank_dims):
+    return DomainDecomposedSimulation(
+        atoms.copy(),
+        box,
+        WaterReference(topology, cutoff=4.0),
+        timestep_fs=0.5,
+        rank_dims=rank_dims,
+        scheme="p2p",
+        neighbor_skin=0.5,
+        neighbor_every=5,
+    )
+
+
+def test_bench_parallel_engine():
+    atoms, box, topology = water_system(N_MOLECULES, rng=17)
+    atoms.initialize_velocities(350.0, rng=18)
+
+    rows = []
+    for rank_dims in GRIDS:
+        engine = _engine(atoms, box, topology, rank_dims)
+        report = engine.run(N_STEPS)
+        pair_times = engine.load_balance_stats().pair_times
+        mean_pair = float(pair_times.mean()) / N_STEPS
+        rows.append(
+            {
+                "ranks": engine.n_ranks,
+                "steps_per_sec": report.steps_per_second,
+                "pair_ms_per_rank_step": 1.0e3 * mean_pair,
+                "mean_ghosts": engine.measured_comm_volume()["mean_ghosts_per_rank"],
+                "comm_frac": report.timers.fraction("comm"),
+            }
+        )
+
+    print("\nDomain-decomposed water box (999 atoms, 10 steps, p2p delivery)")
+    print(f"{'ranks':>5} {'steps/s':>9} {'pair ms/rank/step':>18} {'ghosts/rank':>12} {'comm %':>7}")
+    for row in rows:
+        print(
+            f"{row['ranks']:>5} {row['steps_per_sec']:>9.2f} "
+            f"{row['pair_ms_per_rank_step']:>18.3f} {row['mean_ghosts']:>12.1f} "
+            f"{100.0 * row['comm_frac']:>6.1f}%"
+        )
+
+    # The strong-scaling sanity curve: every decomposition shrinks the pair
+    # work of a single rank, and the 8-rank grid at least halves it.
+    single = rows[0]["pair_ms_per_rank_step"]
+    for row in rows[1:]:
+        assert row["pair_ms_per_rank_step"] < single, (
+            f"{row['ranks']} ranks did not reduce the per-rank pair time"
+        )
+    assert rows[-1]["pair_ms_per_rank_step"] < 0.5 * single
+    # every decomposition yields a throughput figure
+    assert all(row["steps_per_sec"] > 0.0 for row in rows)

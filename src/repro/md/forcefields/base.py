@@ -44,6 +44,24 @@ class ForceField:
     #: interaction cutoff in angstrom; ``None`` means the force field decides.
     cutoff: float = 0.0
 
+    #: How the domain-decomposed engine splits this force field over ranks
+    #: (see :mod:`repro.parallel.engine`):
+    #:
+    #: * ``"pair"`` — energy/forces decompose into pair terms; each pair is
+    #:   computed once globally, by the rank owning the member with the lower
+    #:   global id, and ghost forces are reverse-scattered (LJ, Morse).
+    #: * ``"molecular"`` — pair terms plus bonded terms (bonds/angles); each
+    #:   bonded term is computed by the owner of its lowest-id member and the
+    #:   force field must provide ``with_topology`` for rank-local index maps
+    #:   (flexible water).
+    #: * ``"density"`` — EAM-like: a per-atom density is accumulated first,
+    #:   its embedding derivative is forward-communicated to ghost copies,
+    #:   then pair forces are evaluated once per pair (Gupta).
+    #: * ``"peratom"`` — the energy is a sum of per-atom terms over each
+    #:   atom's full neighbour list; ranks evaluate owned atoms only and
+    #:   reverse-scatter the neighbour forces (Deep Potential).
+    parallel_strategy: str = "pair"
+
     def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
         raise NotImplementedError
 

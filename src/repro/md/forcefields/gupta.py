@@ -26,6 +26,10 @@ CU_GUPTA = {"a": 0.0855, "xi": 1.224, "p": 10.960, "q": 2.278, "r0": 2.556}
 class GuptaPotential(ForceField):
     """Second-moment approximation (SMA) many-body potential."""
 
+    #: EAM-like: the engine forward-communicates the embedding derivative
+    #: (1/sqrt(rho)) to ghost copies before evaluating pair forces.
+    parallel_strategy = "density"
+
     def __init__(
         self,
         a: float = CU_GUPTA["a"],
@@ -44,6 +48,50 @@ class GuptaPotential(ForceField):
         self.r0 = float(r0)
         self.cutoff = float(cutoff)
 
+    # -- staged pair terms (shared by the serial path and the parallel engine) --
+    def pair_terms(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair ``(repulsion, density, d(rep)/dr, d(rho)/dr)`` at distances ``r``.
+
+        The repulsive term is counted once per member atom (it appears in both
+        E_i and E_j), hence the factors of two in the radial derivatives:
+
+        *   d(rep)/dr   = -2 A p / r0 * exp(-p x)
+        *   d(rho_i)/dr = -2 q xi^2 / r0 * exp(-2 q x)
+        """
+        x = r / self.r0 - 1.0
+        repulsion = self.a * np.exp(-self.p * x)
+        density_pair = self.xi * self.xi * np.exp(-2.0 * self.q * x)
+        drep_dr = -2.0 * self.a * self.p / self.r0 * np.exp(-self.p * x)
+        drho_dr = -2.0 * self.q * self.xi * self.xi / self.r0 * np.exp(-2.0 * self.q * x)
+        return repulsion, density_pair, drep_dr, drho_dr
+
+    @staticmethod
+    def embedding_terms(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(sqrt(rho), 1/sqrt(rho))`` with rho floored away from zero.
+
+        The floor keeps zero-density atoms finite; their (meaningless)
+        derivative is never consumed because such atoms have no in-cutoff
+        pairs, and their energy is fixed up separately in ``compute``.
+        """
+        sqrt_rho = np.sqrt(np.maximum(rho, 1.0e-300))
+        return sqrt_rho, 1.0 / sqrt_rho
+
+    @staticmethod
+    def pair_dE_dr(
+        drep_dr: np.ndarray,
+        drho_dr: np.ndarray,
+        inv_sqrt_i: np.ndarray,
+        inv_sqrt_j: np.ndarray,
+    ) -> np.ndarray:
+        """Radial derivative of the total energy for one pair:
+
+        ``dE/dr = d(rep)/dr - 0.5 (1/sqrt(rho_i) + 1/sqrt(rho_j)) d(rho)/dr``
+
+        Shared by the serial ``compute`` and the parallel density evaluator so
+        the force expression has a single source of truth.
+        """
+        return drep_dr - 0.5 * (inv_sqrt_i + inv_sqrt_j) * drho_dr
+
     def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
         n = len(atoms)
         pairs = neighbors.pairs
@@ -61,9 +109,7 @@ class GuptaPotential(ForceField):
             return ForceResult(0.0, forces, per_atom)
 
         i_idx, j_idx = pairs[:, 0], pairs[:, 1]
-        x = r / self.r0 - 1.0
-        repulsion = self.a * np.exp(-self.p * x)  # per pair, counted once per atom
-        density_pair = self.xi * self.xi * np.exp(-2.0 * self.q * x)
+        repulsion, density_pair, drep_dr, drho_dr = self.pair_terms(r)
 
         # per-atom repulsive energy and embedding density
         rep_atom = np.zeros(n)
@@ -73,22 +119,14 @@ class GuptaPotential(ForceField):
         np.add.at(rho, i_idx, density_pair)
         np.add.at(rho, j_idx, density_pair)
 
-        sqrt_rho = np.sqrt(np.maximum(rho, 1.0e-300))
+        sqrt_rho, inv_sqrt = self.embedding_terms(rho)
         per_atom = rep_atom - sqrt_rho
         # Atoms with no neighbours contribute nothing.
         per_atom[rho == 0.0] = rep_atom[rho == 0.0]
         energy = float(per_atom.sum())
 
         # Pair force magnitude (positive = repulsive), acting on atom i along +delta.
-        #   d(rep)/dr   = -2 A p / r0 * exp(-p x)        (pair appears in E_i and E_j)
-        #   d(rho_i)/dr = -2 q xi^2 / r0 * exp(-2 q x)
-        #   dE/dr       = d(rep)/dr - 0.5 (1/sqrt(rho_i) + 1/sqrt(rho_j)) d(rho)/dr
-        inv_sqrt = np.zeros(n)
-        nonzero = sqrt_rho > 0.0
-        inv_sqrt[nonzero] = 1.0 / sqrt_rho[nonzero]
-        drep_dr = -2.0 * self.a * self.p / self.r0 * np.exp(-self.p * x)
-        drho_dr = -2.0 * self.q * self.xi * self.xi / self.r0 * np.exp(-2.0 * self.q * x)
-        dE_dr = drep_dr - 0.5 * (inv_sqrt[i_idx] + inv_sqrt[j_idx]) * drho_dr
+        dE_dr = self.pair_dE_dr(drep_dr, drho_dr, inv_sqrt[i_idx], inv_sqrt[j_idx])
         f_mag = -dE_dr  # force on i along +delta direction
         pair_forces = (f_mag / r)[:, None] * delta
         np.add.at(forces, i_idx, pair_forces)

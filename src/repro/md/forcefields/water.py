@@ -33,6 +33,10 @@ Q_HYDROGEN = 0.4238
 class WaterReference(ForceField):
     """Flexible SPC-like water model (types: O=0, H=1)."""
 
+    #: Pair + bonded terms; the engine remaps bonds/angles to rank-local
+    #: indices via :meth:`with_topology`.
+    parallel_strategy = "molecular"
+
     def __init__(
         self,
         topology: WaterTopology,
@@ -56,6 +60,28 @@ class WaterReference(ForceField):
         self.lj_sigma = float(lj_sigma)
         sr6 = (self.lj_sigma / self.cutoff) ** 6
         self._lj_shift = 4.0 * self.lj_epsilon * (sr6 * sr6 - sr6)
+
+    def with_topology(self, topology: WaterTopology) -> "WaterReference":
+        """A clone sharing every parameter but bound to another topology.
+
+        The domain-decomposed engine uses this to evaluate each rank's local
+        system: bonds/angles are filtered to the terms the rank owns and
+        remapped to local (owned+ghost) indices, while the physics stays
+        bit-identical to the serial force field.
+        """
+        clone = WaterReference(
+            topology=topology,
+            cutoff=self.cutoff,
+            k_bond=self.k_bond,
+            r0_bond=self.r0_bond,
+            k_angle=self.k_angle,
+            theta0_deg=float(np.rad2deg(self.theta0)),
+            lj_epsilon=self.lj_epsilon,
+            lj_sigma=self.lj_sigma,
+        )
+        # deg→rad→deg can be off by one ulp; keep the angle bit-identical.
+        clone.theta0 = self.theta0
+        return clone
 
     # -- intramolecular terms --------------------------------------------------
     def _bond_terms(self, atoms: Atoms, box: Box, forces: np.ndarray, per_atom: np.ndarray) -> float:

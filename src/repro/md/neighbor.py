@@ -153,6 +153,22 @@ def _cell_list_pairs(positions: np.ndarray, box: Box, cutoff: float) -> tuple[np
     return all_i[unique_idx], all_j[unique_idx]
 
 
+def max_displacement(positions: np.ndarray, reference: np.ndarray, box: Box) -> float:
+    """Largest minimum-image displacement between two position snapshots.
+
+    This is the skin-criterion quantity: a neighbour list built with search
+    radius cutoff+skin stays valid while no atom has moved more than half the
+    skin.  Both the serial :class:`NeighborList` and the per-rank lists of
+    :class:`repro.parallel.engine.DomainDecomposedSimulation` use it — the
+    parallel engine max-reduces the per-rank values so every rank rebuilds on
+    the same step as the serial reference.
+    """
+    if len(positions) == 0:
+        return 0.0
+    delta = box.minimum_image(np.asarray(positions) - np.asarray(reference))
+    return float(np.sqrt(np.max(np.einsum("ij,ij->i", delta, delta))))
+
+
 def build_neighbor_data(positions: np.ndarray, box: Box, cutoff: float, skin: float = 0.0) -> NeighborData:
     """Build neighbour data for ``positions`` with search radius cutoff+skin."""
     if cutoff <= 0:
@@ -219,9 +235,7 @@ class NeighborList:
             return True
         if self.skin <= 0.0:
             return True
-        delta = box.minimum_image(atoms.positions - self._reference_positions)
-        max_disp = float(np.sqrt(np.max(np.einsum("ij,ij->i", delta, delta)))) if len(delta) else 0.0
-        return max_disp > 0.5 * self.skin
+        return max_displacement(atoms.positions, self._reference_positions, box) > 0.5 * self.skin
 
     def maybe_rebuild(self, atoms: Atoms, box: Box) -> tuple[NeighborData, bool]:
         """Rebuild if stale; returns ``(data, rebuilt)``."""

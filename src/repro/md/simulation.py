@@ -7,6 +7,12 @@ neighbour, integrate, thermostat, other).  The per-phase breakdown mirrors the
 structure the paper optimizes; the large-scale timing *model* lives in
 :mod:`repro.perfmodel`, while this loop provides the real numerical dynamics
 used by the accuracy experiments (Table II, Fig. 6).
+
+The serial loop is also the parity reference for the domain-decomposed engine
+(:class:`repro.parallel.engine.DomainDecomposedSimulation`), which emits the
+same :class:`SimulationReport` with an additional ``comm`` timer phase for the
+ghost exchange; the two are pinned together by
+``tests/test_parallel_engine_parity.py``.
 """
 
 from __future__ import annotations
@@ -34,6 +40,9 @@ class SimulationReport:
     temperatures: np.ndarray
     timers: PhaseTimer
     neighbor_builds: int
+    #: wall-clock seconds accounted to *this* ``run`` call (the timers object
+    #: accumulates across successive runs of the same simulation).
+    elapsed_seconds: float = 0.0
     #: ``describe()`` of the force field, if it provides one — records which
     #: inference path (e.g. vectorized vs scalar-reference Deep Potential)
     #: produced this trajectory.
@@ -46,6 +55,11 @@ class SimulationReport:
     @property
     def mean_temperature(self) -> float:
         return float(self.temperatures.mean()) if len(self.temperatures) else 0.0
+
+    @property
+    def steps_per_second(self) -> float:
+        """MD throughput over this run's accounted wall-clock time."""
+        return self.n_steps / self.elapsed_seconds if self.elapsed_seconds > 0.0 else 0.0
 
     def energy_drift_per_atom(self, n_atoms: int) -> float:
         """|E_last - E_first| / n_atoms, a cheap NVE-quality metric (eV/atom)."""
@@ -106,6 +120,7 @@ class Simulation:
             raise ValueError("number of steps must be non-negative")
         if self._last_energy is None:
             self.compute_forces()
+        timer_start = self.timers.total()
         energies: list[float] = []
         temperatures: list[float] = []
         self.trajectory: list[np.ndarray] = []
@@ -134,6 +149,7 @@ class Simulation:
             temperatures=np.array(temperatures),
             timers=self.timers,
             neighbor_builds=self.neighbor_list.n_builds,
+            elapsed_seconds=self.timers.total() - timer_start,
             force_field_info=dict(describe()) if callable(describe) else {},
         )
 

@@ -13,9 +13,15 @@ This package reproduces the *structure* of the paper's parallel runtime:
   3-stage pattern, the p2p pattern, and the node-based parallelization scheme
   with 1/2/4 leaders, single-thread communication and the original-layout
   (ref) variant,
+* :mod:`exchange` — the executable ghost-delivery rules (p2p and node-based)
+  shared by the correctness checker and the engine,
 * :mod:`simcomm` — an in-process execution of the ghost exchange used to
   verify that every scheme delivers exactly the atoms the receiving rank
   needs,
+* :mod:`engine` — the domain-decomposed MD engine: real velocity-Verlet
+  dynamics over simulated ranks with ghost exchange, reverse force scatter
+  and atom migration, pinned to the serial loop by the cross-rank parity
+  suite,
 * :mod:`loadbalance` — the intra-node load balancer and its SDMR statistics
   (Table III, Fig. 10),
 * :mod:`memory_pool` — RDMA registered-memory pooling (Fig. 8),
@@ -42,7 +48,9 @@ from .schemes import (
 from .loadbalance import IntraNodeLoadBalancer, LoadBalanceStats, pair_time_model
 from .memory_pool import RdmaBufferManager
 from .threadpool import ThreadingModel
+from .exchange import GhostExchange, resolve_delivery_scheme
 from .simcomm import GhostExchangeSimulator
+from .engine import DomainDecomposedSimulation, RankDomain
 
 __all__ = [
     "RankTopology",
@@ -66,5 +74,9 @@ __all__ = [
     "pair_time_model",
     "RdmaBufferManager",
     "ThreadingModel",
+    "GhostExchange",
+    "resolve_delivery_scheme",
     "GhostExchangeSimulator",
+    "DomainDecomposedSimulation",
+    "RankDomain",
 ]

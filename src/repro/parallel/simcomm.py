@@ -1,11 +1,13 @@
-"""In-process ghost-exchange simulation for correctness checking.
+"""In-process ghost-exchange verification on top of :mod:`repro.parallel.exchange`.
 
 The communication schemes in :mod:`repro.parallel.schemes` are priced by the
 machine model; this module checks that they are *correct* — i.e. that the set
 of atoms a scheme delivers to a rank covers exactly the ghost atoms that rank
 needs (every atom of another rank within the cutoff of its sub-box).
 
-The simulator performs the exchanges with real atom coordinates:
+The delivery logic itself lives in :class:`~repro.parallel.exchange.GhostExchange`
+(it also powers the domain-decomposed engine); this simulator retains the
+set-based checking API used by the test-suite and the claims bench:
 
 * the *reference* ghost set comes from a direct geometric query
   (periodic point-to-box distance <= cutoff),
@@ -28,23 +30,8 @@ import numpy as np
 
 from ..md.box import Box
 from .decomposition import SpatialDecomposition
-from .ghost import ghost_shell_ranks, layers_for_cutoff
+from .exchange import GhostExchange
 from .topology import RankTopology
-
-
-def _periodic_point_to_box_distance(
-    positions: np.ndarray, lower: np.ndarray, upper: np.ndarray, lengths: np.ndarray
-) -> np.ndarray:
-    """Minimum-image distance from each point to an axis-aligned box."""
-    per_axis = np.zeros_like(positions)
-    for axis in range(3):
-        best = None
-        for shift in (-lengths[axis], 0.0, lengths[axis]):
-            c = positions[:, axis] + shift
-            d = np.maximum(np.maximum(lower[axis] - c, c - upper[axis]), 0.0)
-            best = d if best is None else np.minimum(best, d)
-        per_axis[:, axis] = best
-    return np.sqrt(np.einsum("ij,ij->i", per_axis, per_axis))
 
 
 @dataclass
@@ -55,53 +42,23 @@ class GhostExchangeSimulator:
     cutoff: float
 
     def __post_init__(self) -> None:
-        if self.cutoff <= 0:
-            raise ValueError("cutoff must be positive")
+        self.exchange = GhostExchange(self.decomposition, self.cutoff)
         self.topology: RankTopology = self.decomposition.topology
         self.box: Box = self.decomposition.box
 
     # -- ownership ------------------------------------------------------------------
     def owners(self, positions: np.ndarray) -> np.ndarray:
-        return self.decomposition.assign_to_ranks(positions)
-
-    def _rank_bounds(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
-        return self.decomposition.rank_bounds(rank)
-
-    def _node_bounds(self, node_coord) -> tuple[np.ndarray, np.ndarray]:
-        lengths = self.decomposition.node_box_lengths
-        lower = np.array(node_coord, dtype=np.float64) * lengths
-        return lower, lower + lengths
+        return self.exchange.owners(positions)
 
     # -- reference ghost set -----------------------------------------------------------
     def reference_ghosts(self, rank: int, positions: np.ndarray) -> set[int]:
         """Atom ids (owned elsewhere) within ``cutoff`` of the rank's sub-box."""
-        owners = self.owners(positions)
-        lower, upper = self._rank_bounds(rank)
-        wrapped = self.box.wrap(positions)
-        distance = _periodic_point_to_box_distance(wrapped, lower, upper, self.box.lengths)
-        needed = (distance <= self.cutoff) & (owners != rank)
-        return set(np.nonzero(needed)[0].tolist())
+        return set(self.exchange.reference_ghosts(rank, positions).tolist())
 
     # -- p2p delivery ------------------------------------------------------------------
     def deliver_p2p(self, rank: int, positions: np.ndarray) -> set[int]:
         """Atoms delivered to ``rank`` by the p2p pattern."""
-        owners = self.owners(positions)
-        wrapped = self.box.wrap(positions)
-        lower, upper = self._rank_bounds(rank)
-        layers = layers_for_cutoff(self.decomposition.sub_box_lengths, self.cutoff)
-        coord = self.topology.rank_coord(rank)
-        neighbor_coords = ghost_shell_ranks(coord, self.topology.rank_dims, layers)
-        delivered: set[int] = set()
-        for neighbor_coord in neighbor_coords:
-            neighbor = self.topology.rank_index(neighbor_coord)
-            sender_atoms = np.nonzero(owners == neighbor)[0]
-            if len(sender_atoms) == 0:
-                continue
-            distance = _periodic_point_to_box_distance(
-                wrapped[sender_atoms], lower, upper, self.box.lengths
-            )
-            delivered.update(sender_atoms[distance <= self.cutoff].tolist())
-        return delivered
+        return set(self.exchange.deliver_p2p(rank, positions).tolist())
 
     # -- node-based delivery --------------------------------------------------------------
     def deliver_node_based(self, rank: int, positions: np.ndarray) -> set[int]:
@@ -111,33 +68,7 @@ class GhostExchangeSimulator:
         and (b) every atom that neighbouring nodes shipped because it falls in
         the *node-box* ghost shell.
         """
-        owners = self.owners(positions)
-        node_owners = self.decomposition.assign_to_nodes(positions)
-        wrapped = self.box.wrap(positions)
-
-        node_coord = self.topology.node_of_rank(rank)
-        node_index = self.topology.node_index(node_coord)
-        lower, upper = self._node_bounds(node_coord)
-
-        delivered: set[int] = set()
-        # (a) node peers' local atoms via the NoC.
-        peers = [r for r in self.topology.ranks_on_node(node_coord) if r != rank]
-        for peer in peers:
-            delivered.update(np.nonzero(owners == peer)[0].tolist())
-
-        # (b) ghost atoms from neighbouring nodes.
-        node_layers = layers_for_cutoff(self.decomposition.node_box_lengths, self.cutoff)
-        neighbor_nodes = ghost_shell_ranks(node_coord, self.topology.node_dims, node_layers)
-        for neighbor_coord in neighbor_nodes:
-            neighbor_index = self.topology.node_index(neighbor_coord)
-            sender_atoms = np.nonzero(node_owners == neighbor_index)[0]
-            if len(sender_atoms) == 0:
-                continue
-            distance = _periodic_point_to_box_distance(
-                wrapped[sender_atoms], lower, upper, self.box.lengths
-            )
-            delivered.update(sender_atoms[distance <= self.cutoff].tolist())
-        return delivered
+        return set(self.exchange.deliver_node_based(rank, positions).tolist())
 
     # -- aggregate checks --------------------------------------------------------------------
     def verify_rank(self, rank: int, positions: np.ndarray) -> dict[str, bool]:

@@ -135,3 +135,23 @@ class RankTopology:
                 f"no predefined topology for {n_nodes} nodes; available: {sorted(shapes)}"
             )
         return cls(node_dims=shapes[n_nodes], **kwargs)
+
+    @classmethod
+    def for_rank_grid(cls, rank_dims, rank_block=None, **kwargs) -> "RankTopology":
+        """Topology whose *rank grid* is exactly ``rank_dims``.
+
+        Small engine runs are specified by their rank grid (``2x2x1``,
+        ``2x2x2``, ...) rather than by node counts; the default node block
+        keeps the paper's 2x2x1 arrangement along every axis it divides and
+        degenerates to one rank per node direction otherwise.
+        """
+        dims = tuple(int(d) for d in rank_dims)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError("rank grid must be three positive integers")
+        if rank_block is None:
+            rank_block = tuple(b if d % b == 0 else 1 for d, b in zip(dims, (2, 2, 1)))
+        rank_block = tuple(int(b) for b in rank_block)
+        if any(d % b != 0 for d, b in zip(dims, rank_block)):
+            raise ValueError(f"rank block {rank_block} does not tile rank grid {dims}")
+        node_dims = tuple(d // b for d, b in zip(dims, rank_block))
+        return cls(node_dims=node_dims, rank_block=rank_block, **kwargs)

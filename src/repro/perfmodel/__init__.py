@@ -21,7 +21,7 @@ decomposition and the real model configuration.
 """
 
 from .kernels import KernelCostModel, PerAtomFlops
-from .comm_cost import CommCostModel, CommTimeBreakdown
+from .comm_cost import CommCostModel, CommTimeBreakdown, plan_with_measured_volume
 from .timeline import StepTimeline
 from .strongscaling import parallel_efficiency, scaling_table
 
@@ -30,6 +30,7 @@ __all__ = [
     "PerAtomFlops",
     "CommCostModel",
     "CommTimeBreakdown",
+    "plan_with_measured_volume",
     "StepTimeline",
     "parallel_efficiency",
     "scaling_table",

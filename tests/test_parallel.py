@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.systems import copper_spec
 from repro.md import Box, copper_system
 from repro.parallel import (
+    GhostExchange,
     GhostExchangeSimulator,
     IntraNodeLoadBalancer,
     RankTopology,
@@ -18,6 +19,7 @@ from repro.parallel import (
     ghost_count_load_balanced,
     ghost_count_original,
     layers_for_cutoff,
+    resolve_delivery_scheme,
 )
 from repro.parallel.ghost import ghost_overhead_ratio, ghost_shell_ranks, neighbor_count, overlap_volume
 from repro.parallel.loadbalance import pair_time_model
@@ -255,6 +257,75 @@ class TestGhostExchangeSimulator:
             assert checks["p2p_exact"]
             assert checks["node_covers"]
             assert checks["node_size"] >= checks["reference_size"]
+
+
+class TestGhostExchangeComponent:
+    """The promoted delivery component preserves the simulator's properties."""
+
+    def _setup(self, cutoff=5.0):
+        atoms, box = copper_system((6, 6, 6), perturbation=0.05, rng=1)
+        decomposition = SpatialDecomposition(box, RankTopology((2, 2, 2)))
+        return atoms, GhostExchange(decomposition, cutoff=cutoff)
+
+    def test_subset_and_exactness_through_new_api(self):
+        atoms, exchange = self._setup()
+        owners = exchange.owners(atoms.positions)
+        for rank in (0, 7, 13):
+            reference = exchange.reference_ghosts(rank, atoms.positions, owners)
+            p2p = exchange.deliver_p2p(rank, atoms.positions, owners)
+            node = exchange.deliver_node_based(rank, atoms.positions, owners)
+            # p2p delivers exactly the reference set; node-based a superset
+            np.testing.assert_array_equal(np.sort(reference), p2p)
+            assert set(reference.tolist()) <= set(node.tolist())
+            # no rank receives its own atoms as ghosts
+            assert not np.any(owners[p2p] == rank)
+            assert not np.any(owners[node] == rank)
+
+    def test_simulator_delegates_to_component(self):
+        atoms, exchange = self._setup()
+        simulator = GhostExchangeSimulator(exchange.decomposition, cutoff=exchange.cutoff)
+        assert isinstance(simulator.exchange, GhostExchange)
+        for rank in (0, 9):
+            assert simulator.deliver_p2p(rank, atoms.positions) == set(
+                exchange.deliver_p2p(rank, atoms.positions).tolist()
+            )
+            assert simulator.deliver_node_based(rank, atoms.positions) == set(
+                exchange.deliver_node_based(rank, atoms.positions).tolist()
+            )
+
+    def test_per_sender_selection_matches_delivery(self):
+        """Assembling per-sender masks reproduces the aggregate delivery."""
+        atoms, exchange = self._setup()
+        owners = exchange.owners(atoms.positions)
+        rank = 5
+        assembled = []
+        for sender in exchange.p2p_neighbor_ranks(rank):
+            sender_atoms = np.nonzero(owners == sender)[0]
+            mask = exchange.p2p_selection(atoms.positions[sender_atoms], rank)
+            assembled.extend(sender_atoms[mask].tolist())
+        np.testing.assert_array_equal(
+            np.unique(assembled), exchange.deliver_p2p(rank, atoms.positions, owners)
+        )
+
+    def test_scheme_labels_resolve_to_delivery_patterns(self):
+        atoms, exchange = self._setup()
+        assert resolve_delivery_scheme("p2p-utofu") == "p2p"
+        assert resolve_delivery_scheme("lb-4l") == "node-based"
+        with pytest.raises(KeyError):
+            resolve_delivery_scheme("baseline-telepathy")
+        np.testing.assert_array_equal(
+            exchange.deliver("p2p-utofu", 0, atoms.positions),
+            exchange.deliver_p2p(0, atoms.positions),
+        )
+        np.testing.assert_array_equal(
+            exchange.deliver("lb-4l", 0, atoms.positions),
+            exchange.deliver_node_based(0, atoms.positions),
+        )
+
+    def test_cutoff_validation(self):
+        atoms, exchange = self._setup()
+        with pytest.raises(ValueError):
+            GhostExchange(exchange.decomposition, cutoff=0.0)
 
 
 class TestMemoryPoolAndThreading:

@@ -1,0 +1,243 @@
+"""Unit-level coverage for the domain-decomposed engine.
+
+Report interchangeability with the serial loop (satellite of the parity
+suite), measured load-balance / ghost statistics, the measured-comm-volume
+bridge into the perf model, topology factories and validation errors.
+The step-for-step trajectory contract lives in
+``tests/test_parallel_engine_parity.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deepmd import DeepPotential, DeepPotentialConfig
+from repro.deepmd.pair_style import DeepPotentialForceField
+from repro.md import BerendsenThermostat, GuptaPotential, LennardJones, Simulation, copper_system, water_system
+from repro.md.forcefields.water import WaterReference
+from repro.parallel import DomainDecomposedSimulation, RankTopology
+from repro.perfmodel import CommCostModel, plan_with_measured_volume
+
+
+def _copper_pair(rng=1, temperature=300.0):
+    atoms, box = copper_system((3, 3, 3), perturbation=0.05, rng=rng)
+    atoms.initialize_velocities(temperature, rng=rng + 1)
+    return atoms, box
+
+
+def _tiny_dp_force_field():
+    config = DeepPotentialConfig(
+        type_names=("Cu",),
+        cutoff=4.5,
+        cutoff_smooth=3.5,
+        embedding_sizes=(6, 12),
+        axis_neurons=4,
+        fitting_sizes=(16, 16),
+        max_neighbors=48,
+        seed=3,
+    )
+    model = DeepPotential(config)
+    rng = np.random.default_rng(3)
+    model.set_descriptor_stats(
+        rng.normal(scale=0.1, size=(1, config.descriptor_dim)),
+        0.5 + rng.random((1, config.descriptor_dim)),
+    )
+    model.set_energy_bias(np.array([-1.0]))
+    return DeepPotentialForceField(model)
+
+
+class TestReportParity:
+    """Downstream analysis code can consume either loop's outputs."""
+
+    def test_report_fields_match_serial_classical(self):
+        atoms, box = _copper_pair()
+        serial = Simulation(atoms.copy(), box, GuptaPotential(cutoff=5.0), timestep_fs=2.0,
+                            neighbor_skin=0.4, neighbor_every=5)
+        engine = DomainDecomposedSimulation(atoms.copy(), box, GuptaPotential(cutoff=5.0), timestep_fs=2.0,
+                                            rank_dims=(2, 2, 1), neighbor_skin=0.4, neighbor_every=5)
+        serial_report = serial.run(8, trajectory_every=4)
+        engine_report = engine.run(8, trajectory_every=4)
+
+        assert engine_report.n_steps == serial_report.n_steps
+        assert engine_report.neighbor_builds == serial_report.neighbor_builds
+        assert engine_report.force_field_info == serial_report.force_field_info
+        np.testing.assert_allclose(
+            engine_report.potential_energies, serial_report.potential_energies, rtol=0.0, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            engine_report.temperatures, serial_report.temperatures, rtol=0.0, atol=1e-10
+        )
+        # classical pair styles report no virial in either loop
+        assert serial.last_virial is None and engine.last_virial is None
+        # derived report quantities stay usable on both
+        assert engine_report.final_potential_energy == pytest.approx(
+            serial_report.final_potential_energy, abs=1e-10
+        )
+        assert engine_report.energy_drift_per_atom(len(atoms)) == pytest.approx(
+            serial_report.energy_drift_per_atom(len(atoms)), abs=1e-10
+        )
+        assert engine_report.steps_per_second > 0.0
+        # trajectory snapshots line up frame by frame
+        assert len(engine.trajectory) == len(serial.trajectory) == 2
+        np.testing.assert_allclose(engine.trajectory[-1], serial.trajectory[-1], atol=1e-10)
+
+    def test_report_fields_match_serial_deep_potential(self):
+        atoms, box = _copper_pair(rng=5)
+        serial = Simulation(atoms.copy(), box, _tiny_dp_force_field(), timestep_fs=0.5,
+                            neighbor_skin=0.4, neighbor_every=4)
+        engine = DomainDecomposedSimulation(atoms.copy(), box, _tiny_dp_force_field(), timestep_fs=0.5,
+                                            rank_dims=(2, 1, 1), neighbor_skin=0.4, neighbor_every=4)
+        serial_report = serial.run(6)
+        engine_report = engine.run(6)
+        assert engine_report.force_field_info == serial_report.force_field_info
+        assert engine_report.force_field_info["path"] == "vectorized"
+        assert engine_report.neighbor_builds == serial_report.neighbor_builds
+        np.testing.assert_allclose(engine.last_virial, serial.last_virial, rtol=0.0, atol=1e-9)
+        # the engine additionally accounts a comm phase next to the serial set
+        assert {"pair", "neigh", "integrate"} <= set(serial_report.timers.totals)
+        assert {"pair", "neigh", "integrate", "comm"} <= set(engine_report.timers.totals)
+
+    def test_total_energy_matches_serial(self):
+        atoms, box = _copper_pair(rng=7)
+        serial = Simulation(atoms.copy(), box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0, neighbor_skin=0.4)
+        engine = DomainDecomposedSimulation(atoms.copy(), box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0,
+                                            rank_dims=(2, 2, 2), neighbor_skin=0.4)
+        assert engine.total_energy() == pytest.approx(serial.total_energy(), abs=1e-10)
+
+    def test_thermostatted_run_matches_serial(self):
+        """Thermostats act on the gathered system, so parity survives them."""
+        atoms, box = _copper_pair(rng=9, temperature=600.0)
+        serial = Simulation(atoms.copy(), box, LennardJones(0.05, 2.3, 5.0), timestep_fs=2.0,
+                            neighbor_skin=0.4, thermostat=BerendsenThermostat(300.0, coupling_fs=100.0))
+        engine = DomainDecomposedSimulation(atoms.copy(), box, LennardJones(0.05, 2.3, 5.0), timestep_fs=2.0,
+                                            rank_dims=(2, 2, 1), neighbor_skin=0.4,
+                                            thermostat=BerendsenThermostat(300.0, coupling_fs=100.0))
+        serial.run(8)
+        engine.run(8)
+        np.testing.assert_allclose(engine.gather().velocities, serial.atoms.velocities, atol=1e-10)
+
+
+class TestMeasuredStatistics:
+    def _run_engine(self, rank_dims=(2, 2, 1), scheme="p2p", steps=6):
+        atoms, box = _copper_pair(rng=11, temperature=400.0)
+        engine = DomainDecomposedSimulation(atoms.copy(), box, GuptaPotential(cutoff=5.0), timestep_fs=2.0,
+                                            rank_dims=rank_dims, scheme=scheme,
+                                            neighbor_skin=0.4, neighbor_every=3)
+        engine.run(steps)
+        return atoms, engine
+
+    def test_decomposition_and_ghost_stats_are_measured(self):
+        atoms, engine = self._run_engine()
+        stats = engine.decomposition_stats()
+        assert stats.total == len(atoms)
+        assert stats.n_domains == engine.n_ranks
+        assert stats.minimum > 0
+        ghosts = engine.ghost_stats()
+        assert ghosts.total > 0  # multi-rank grids always carry ghosts
+        assert ghosts.n_domains == engine.n_ranks
+
+    def test_load_balance_stats_use_measured_pair_times(self):
+        atoms, engine = self._run_engine()
+        stats = engine.load_balance_stats()
+        assert stats.atom_counts.sum() == len(atoms)
+        assert np.all(stats.pair_times > 0.0)  # wall-clock, per rank
+        summary = stats.summary()
+        assert {"natom", "pair"} <= set(summary)
+        comparison = engine.intra_node_balance(rng=0)
+        assert {"no", "yes"} <= set(comparison)
+        assert comparison["yes"].atom_counts.sum() == len(atoms)
+
+    def test_comm_volume_measured_and_priced(self):
+        # 2x2x2 spans two nodes, so the node-based plan has inter-node traffic
+        _, engine = self._run_engine(rank_dims=(2, 2, 2), scheme="node-based")
+        volume = engine.measured_comm_volume()
+        assert volume["exchanges"] == engine.n_builds
+        assert volume["mean_ghosts_per_rank"] > 0.0
+        assert volume["forward_bytes_per_rank"] > 0.0
+        assert volume["total_reverse_bytes"] > 0.0
+        assert volume["messages"] > 0
+
+        plan = engine.modelled_plan()
+        assert plan.scheme == "lb-4l"
+        scaled = plan_with_measured_volume(plan, volume["forward_bytes_per_rank"])
+        assert scaled.total_message_bytes == pytest.approx(volume["forward_bytes_per_rank"])
+        assert scaled.n_messages == plan.n_messages
+        assert scaled.notes["measured_forward_bytes"] == volume["forward_bytes_per_rank"]
+        model = CommCostModel()
+        measured_time = model.exchange_time_measured(plan, volume["forward_bytes_per_rank"])
+        assert measured_time > 0.0
+        # pricing scales monotonically with the measured volume
+        assert model.exchange_time_measured(plan, 10 * volume["forward_bytes_per_rank"]) > measured_time
+
+    def test_plan_rescaling_validation(self):
+        _, engine = self._run_engine()
+        plan = engine.modelled_plan("p2p-utofu")
+        with pytest.raises(ValueError):
+            plan_with_measured_volume(plan, -1.0)
+
+
+class TestConstructionAndValidation:
+    def test_rank_grid_topologies(self):
+        topo = RankTopology.for_rank_grid((2, 2, 2))
+        assert topo.rank_dims == (2, 2, 2)
+        assert topo.node_dims == (1, 1, 2)
+        assert topo.ranks_per_node == 4
+        assert RankTopology.for_rank_grid((1, 1, 1)).n_ranks == 1
+        assert RankTopology.for_rank_grid((6, 1, 1)).rank_dims == (6, 1, 1)
+        assert RankTopology.for_rank_grid((3, 1, 1)).rank_block == (1, 1, 1)
+        with pytest.raises(ValueError):
+            RankTopology.for_rank_grid((0, 1, 1))
+        with pytest.raises(ValueError):
+            RankTopology.for_rank_grid((4, 1, 1), rank_block=(3, 1, 1))
+
+    def test_unknown_scheme_rejected(self):
+        atoms, box = _copper_pair()
+        with pytest.raises(KeyError):
+            DomainDecomposedSimulation(atoms, box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0,
+                                       rank_dims=(2, 1, 1), scheme="telepathy")
+
+    def test_scheme_aliases_accepted(self):
+        atoms, box = _copper_pair()
+        engine = DomainDecomposedSimulation(atoms, box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0,
+                                            rank_dims=(2, 1, 1), scheme="lb-4l")
+        assert engine.scheme == "node-based"
+        assert engine.scheme_label == "lb-4l"
+
+    def test_requires_positive_cutoff_and_steps(self):
+        atoms, box = _copper_pair()
+
+        class NoCutoff:
+            cutoff = 0.0
+
+        with pytest.raises(ValueError):
+            DomainDecomposedSimulation(atoms, box, NoCutoff(), timestep_fs=1.0)
+        engine = DomainDecomposedSimulation(atoms, box, LennardJones(0.05, 2.3, 5.0), timestep_fs=1.0)
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+    def test_unknown_parallel_strategy_rejected(self):
+        atoms, box = _copper_pair()
+        force_field = LennardJones(0.05, 2.3, 5.0)
+        force_field.parallel_strategy = "astral-projection"
+        with pytest.raises(KeyError):
+            DomainDecomposedSimulation(atoms, box, force_field, timestep_fs=1.0)
+
+
+@pytest.mark.slow
+class TestLargerDecompositionSlow:
+    """A 4x2x2 grid on a bigger water box; excluded from tier-1 for speed."""
+
+    def test_water_4x2x2_matches_serial(self):
+        atoms, box, topology = water_system(216, rng=21, jitter=0.15)
+        atoms.initialize_velocities(400.0, rng=22)
+        serial = Simulation(atoms.copy(), box, WaterReference(topology, cutoff=4.0), timestep_fs=0.5,
+                            neighbor_skin=0.5, neighbor_every=5)
+        engine = DomainDecomposedSimulation(atoms.copy(), box, WaterReference(topology, cutoff=4.0),
+                                            timestep_fs=0.5, rank_dims=(4, 2, 2), scheme="p2p",
+                                            neighbor_skin=0.5, neighbor_every=5)
+        for _ in range(10):
+            serial.run(1)
+            engine.run(1)
+            gathered = engine.gather()
+            np.testing.assert_allclose(gathered.positions, serial.atoms.positions, rtol=0.0, atol=1e-10)
+            np.testing.assert_allclose(gathered.forces, serial.atoms.forces, rtol=0.0, atol=1e-10)
+        assert engine.n_builds == serial.neighbor_list.n_builds
