@@ -1,11 +1,13 @@
 """Domain-decomposed engine throughput vs rank count (~1k-atom water box).
 
 Runs the same dynamics on 1, 2, 4 and 8 simulated ranks and reports steps/sec
-plus the measured per-rank pair time.  Because the ranks execute in-process
-the wall-clock does not drop with rank count — what must drop is the *pair
-work each rank performs*, which is exactly the quantity the paper's strong
-scaling rides on.  The assertion pins that sanity curve: the mean per-rank
-pair time shrinks as the domain grid grows.
+plus the measured per-rank pair and neighbour-build times.  Because the ranks
+execute in-process the wall-clock does not drop with rank count — what must
+drop is the *work each rank performs*, which is exactly the quantity the
+paper's strong scaling rides on.  The assertions pin that sanity curve: the
+mean per-rank pair time shrinks as the domain grid grows, and the per-rank
+neighbour build (the vectorized binned build of ``md/neighbor.py``, timed
+under the ``neigh`` phase) stays a small fraction of the per-rank pair work.
 
 Run with::
 
@@ -46,22 +48,29 @@ def test_bench_parallel_engine():
         report = engine.run(N_STEPS)
         pair_times = engine.load_balance_stats().pair_times
         mean_pair = float(pair_times.mean()) / N_STEPS
+        builds = max(engine.n_builds, 1)
+        mean_neigh = float(engine.neighbor_build_times().mean()) / builds
         rows.append(
             {
                 "ranks": engine.n_ranks,
                 "steps_per_sec": report.steps_per_second,
                 "pair_ms_per_rank_step": 1.0e3 * mean_pair,
+                "neigh_ms_per_rank_build": 1.0e3 * mean_neigh,
                 "mean_ghosts": engine.measured_comm_volume()["mean_ghosts_per_rank"],
                 "comm_frac": report.timers.fraction("comm"),
             }
         )
 
     print("\nDomain-decomposed water box (999 atoms, 10 steps, p2p delivery)")
-    print(f"{'ranks':>5} {'steps/s':>9} {'pair ms/rank/step':>18} {'ghosts/rank':>12} {'comm %':>7}")
+    print(
+        f"{'ranks':>5} {'steps/s':>9} {'pair ms/rank/step':>18} "
+        f"{'neigh ms/rank/build':>20} {'ghosts/rank':>12} {'comm %':>7}"
+    )
     for row in rows:
         print(
             f"{row['ranks']:>5} {row['steps_per_sec']:>9.2f} "
-            f"{row['pair_ms_per_rank_step']:>18.3f} {row['mean_ghosts']:>12.1f} "
+            f"{row['pair_ms_per_rank_step']:>18.3f} "
+            f"{row['neigh_ms_per_rank_build']:>20.3f} {row['mean_ghosts']:>12.1f} "
             f"{100.0 * row['comm_frac']:>6.1f}%"
         )
 
@@ -75,3 +84,12 @@ def test_bench_parallel_engine():
     assert rows[-1]["pair_ms_per_rank_step"] < 0.5 * single
     # every decomposition yields a throughput figure
     assert all(row["steps_per_sec"] > 0.0 for row in rows)
+    # one vectorized per-rank neighbour build must cost less than the whole
+    # run's pair work on that rank (pre-PR, the O(n_local^2) brute-force
+    # builds at this size were the same order as the full run)
+    for row in rows:
+        assert row["neigh_ms_per_rank_build"] < row["pair_ms_per_rank_step"] * N_STEPS, (
+            f"{row['ranks']} ranks: one neighbour build "
+            f"({row['neigh_ms_per_rank_build']:.3f} ms) outweighs the whole "
+            f"{N_STEPS}-step run's pair work"
+        )

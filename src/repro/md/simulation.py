@@ -47,6 +47,10 @@ class SimulationReport:
     #: inference path (e.g. vectorized vs scalar-reference Deep Potential)
     #: produced this trajectory.
     force_field_info: dict = field(default_factory=dict)
+    #: cumulative wall-clock seconds spent inside neighbour-list *builds*
+    #: (summed over ranks for the domain-decomposed engine; excludes the
+    #: per-step staleness checks the ``neigh`` timer phase also covers).
+    neighbor_build_seconds: float = 0.0
 
     @property
     def final_potential_energy(self) -> float:
@@ -151,6 +155,7 @@ class Simulation:
             neighbor_builds=self.neighbor_list.n_builds,
             elapsed_seconds=self.timers.total() - timer_start,
             force_field_info=dict(describe()) if callable(describe) else {},
+            neighbor_build_seconds=self.neighbor_list.build_seconds,
         )
 
     # -- convenience -----------------------------------------------------------

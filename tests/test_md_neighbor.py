@@ -115,9 +115,9 @@ class TestCellListBruteForceAgreement:
 
     def test_below_threshold_build_matches_cell_list(self):
         rng = np.random.default_rng(17)
-        n = BRUTE_FORCE_THRESHOLD - 100
-        box = Box.cubic(38.0)
-        positions = rng.uniform(0.0, 38.0, size=(n, 3))
+        n = BRUTE_FORCE_THRESHOLD - 16
+        box = Box.cubic(12.0)
+        positions = rng.uniform(0.0, 12.0, size=(n, 3))
         cutoff = 3.0
         data = build_neighbor_data(positions, box, cutoff)  # brute-force branch
         cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
@@ -126,12 +126,207 @@ class TestCellListBruteForceAgreement:
     def test_above_threshold_build_matches_brute_force(self):
         rng = np.random.default_rng(18)
         n = BRUTE_FORCE_THRESHOLD + 100
-        box = Box.cubic(40.0)
-        positions = rng.uniform(0.0, 40.0, size=(n, 3))
+        box = Box.cubic(14.0)
+        positions = rng.uniform(0.0, 14.0, size=(n, 3))
         cutoff = 3.0
         data = build_neighbor_data(positions, box, cutoff)  # cell-list branch
         brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
         assert _pair_set(data.pairs[:, 0], data.pairs[:, 1]) == brute
+
+    def test_above_threshold_never_routes_through_brute_force(self, monkeypatch):
+        """No O(N^2) path is reachable above the threshold — any geometry."""
+        import repro.md.neighbor as neighbor_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("O(N^2) brute-force path reached above threshold")
+
+        monkeypatch.setattr(neighbor_module, "_brute_force_pairs", forbidden)
+        rng = np.random.default_rng(19)
+        n = BRUTE_FORCE_THRESHOLD + 50
+        box = Box.cubic(14.0)
+        data = build_neighbor_data(rng.uniform(0.0, 14.0, size=(n, 3)), box, 3.0)
+        assert len(data.pairs) > 0
+
+
+class TestGeneralizedStencil:
+    """Slab, thin, non-cubic and mixed-periodicity boxes stay binned.
+
+    Pre-PR, any box with fewer than 3 cells on an axis silently fell back to
+    the full O(N^2) search at every size; the generalized per-axis stencil
+    must keep every physical geometry on the vectorized path and still agree
+    with the golden brute-force reference pair-for-pair.
+    """
+
+    def test_large_slab_never_routes_through_brute_force(self, monkeypatch):
+        # 200 x 200 x 16 A slab at cutoff+skin 7.5 A: only 2 cells fit on z.
+        import repro.md.neighbor as neighbor_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("slab build routed through the O(N^2) fallback")
+
+        monkeypatch.setattr(neighbor_module, "_brute_force_pairs", forbidden)
+        rng = np.random.default_rng(7)
+        box = Box(np.array([200.0, 200.0, 16.0]))
+        positions = rng.uniform(0.0, 1.0, size=(4000, 3)) * box.lengths
+        data = build_neighbor_data(positions, box, 7.0, skin=0.5)
+        assert len(data.pairs) > 0
+        assert data.counts.mean() > 1.0
+
+    def test_slab_parity_with_brute_force(self):
+        rng = np.random.default_rng(8)
+        box = Box(np.array([60.0, 60.0, 16.0]))
+        positions = rng.uniform(0.0, 1.0, size=(600, 3)) * box.lengths
+        cutoff = 7.5
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+
+    def test_single_cell_axis_parity(self):
+        # z supports exactly one cell: every shift on that axis collapses to 0
+        rng = np.random.default_rng(9)
+        box = Box(np.array([40.0, 40.0, 7.0]))
+        positions = rng.uniform(0.0, 1.0, size=(300, 3)) * box.lengths
+        cutoff = 3.4
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(10, 120),
+        lx=st.floats(8.0, 30.0),
+        ly=st.floats(8.0, 30.0),
+        lz=st.floats(6.0, 30.0),
+    )
+    def test_property_random_non_cubic_boxes(self, seed, n, lx, ly, lz):
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([lx, ly, lz]))
+        positions = rng.uniform(0.0, 1.0, size=(n, 3)) * box.lengths
+        cutoff = 0.45 * min(lx, ly, lz)
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(10, 120),
+        periodic=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        lx=st.floats(5.8, 20.0),
+        ly=st.floats(5.8, 20.0),
+        lz=st.floats(5.8, 20.0),
+    )
+    def test_property_mixed_periodicity(self, seed, n, periodic, lx, ly, lz):
+        # lengths down to 5.8 A at cutoff 2.8 A produce 2-cell axes, both
+        # periodic (wrap-aliased one-sided shift) and non-periodic (full +-1
+        # stencil required — a one-sided shift there drops diagonal pairs)
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([lx, ly, lz]), periodic)
+        # spill atoms outside the box on non-periodic axes (up to ~1.5 lengths)
+        spill = np.where(np.asarray(periodic), 0.0, 1.5)
+        low, high = -spill, 1.0 + spill
+        positions = rng.uniform(low, high, size=(n, 3)) * box.lengths
+        cutoff = 2.8
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+
+    def test_non_periodic_two_cell_axis_diagonal_pairs(self):
+        # Regression: a non-periodic axis with exactly 2 cells has no wrap
+        # aliasing, so the stencil must keep the -1 shift — with a one-sided
+        # {0, +1} set this close pair straddling the z cell boundary on a
+        # diagonal (+x, -z) cell pair is silently dropped.
+        box = Box(np.array([30.0, 10.0, 10.0]), (True, True, False))
+        positions = np.array([[5.1, 1.0, 4.9], [4.9, 1.0, 5.1]])
+        cutoff = 5.0
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        assert brute == {(0, 1)}
+        assert _pair_set(*_cell_list_pairs(positions, box, cutoff)) == brute
+
+    def test_non_periodic_slab_two_cell_axis_parity(self):
+        # 60 x 60 x 10.1 open slab at search radius 5: z supports 2 cells
+        rng = np.random.default_rng(21)
+        box = Box(np.array([60.0, 60.0, 10.1]), (True, True, False))
+        positions = rng.uniform(0.0, 1.0, size=(400, 3)) * box.lengths
+        brute = _pair_set(*_brute_force_pairs(positions, box, 5.0))
+        cell = _pair_set(*_cell_list_pairs(positions, box, 5.0))
+        assert brute == cell
+        data = build_neighbor_data(positions, box, 4.0, skin=1.0)
+        assert _pair_set(data.pairs[:, 0], data.pairs[:, 1]) == brute
+
+    def test_atoms_exactly_on_box_faces(self):
+        box = Box(np.array([12.0, 15.0, 9.0]))
+        lx, ly, lz = box.lengths
+        positions = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [lx, 0.0, 0.0],  # wraps onto the first atom's cell
+                [0.0, ly, lz],
+                [lx, ly, lz],
+                [0.5, 0.2, 0.1],
+                [lx - 0.5, 0.3, 0.2],
+                [0.25 * lx, ly, 0.5 * lz],
+                [0.25 * lx, 0.0, 0.5 * lz],
+                [6.0, 7.5, 4.5],
+            ]
+        )
+        cutoff = 2.5
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
+        data = build_neighbor_data(positions, box, cutoff)
+        assert _pair_set(data.pairs[:, 0], data.pairs[:, 1]) == brute
+
+
+class TestNonPeriodicClamping:
+    """Non-periodic axes clamp outliers into edge cells instead of wrapping.
+
+    Wrapping ``frac - floor(frac)`` on a non-periodic axis bins an atom more
+    than one box length outside into an interior cell; with a non-wrapping
+    stencil on that axis its pairs are then silently dropped.
+    """
+
+    def test_far_outlier_cluster_keeps_its_pairs(self):
+        box = Box(np.array([20.0, 20.0, 15.0]), (True, True, False))
+        # a cluster hovering 2+ box lengths above the cell on the open axis
+        positions = np.array(
+            [
+                [5.0, 5.0, 33.0],
+                [5.5, 5.0, 33.4],   # within cutoff of the first outlier
+                [5.0, 5.5, 34.0],   # within cutoff of both
+                [5.0, 5.0, -18.0],  # far below the cell
+                [5.4, 5.0, -18.3],  # within cutoff of the one above
+                [5.0, 5.0, 7.0],    # inside the box, isolated
+            ]
+        )
+        cutoff = 1.5
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        assert brute == {(0, 1), (0, 2), (1, 2), (3, 4)}
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert cell == brute
+
+    def test_straddling_the_open_boundary(self):
+        # one atom just inside the top face, one just outside: wrapping the
+        # outside atom to the bottom of the box would separate them
+        box = Box(np.array([20.0, 20.0, 15.0]), (True, True, False))
+        positions = np.array([[5.0, 5.0, 14.9], [5.0, 5.0, 15.1], [5.0, 5.0, 0.1]])
+        cutoff = 1.0
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        assert brute == {(0, 1)}
+        assert _pair_set(*_cell_list_pairs(positions, box, cutoff)) == brute
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 80))
+    def test_property_outliers_match_reference(self, seed, n):
+        rng = np.random.default_rng(seed)
+        box = Box(np.array([16.0, 12.0, 10.0]), (True, False, False))
+        frac = rng.uniform([-0.2, -2.5, -2.5], [1.2, 3.5, 3.5], size=(n, 3))
+        positions = frac * box.lengths
+        cutoff = 2.5
+        brute = _pair_set(*_brute_force_pairs(positions, box, cutoff))
+        cell = _pair_set(*_cell_list_pairs(positions, box, cutoff))
+        assert brute == cell
 
 
 class TestMDInvariants:
@@ -194,3 +389,16 @@ class TestNeighborList:
         nlist.build(atoms, box)
         smaller = atoms.select(np.arange(len(atoms) - 1))
         assert nlist.needs_rebuild(smaller, box)
+
+    def test_build_seconds_accumulates_only_on_builds(self):
+        atoms, box = copper_system((3, 3, 3), rng=7)
+        nlist = NeighborList(cutoff=4.0, skin=1.0, rebuild_every=1000)
+        assert nlist.build_seconds == 0.0
+        nlist.build(atoms, box)
+        after_first = nlist.build_seconds
+        assert after_first > 0.0
+        _, rebuilt = nlist.maybe_rebuild(atoms, box)  # fresh list: no rebuild
+        assert not rebuilt
+        assert nlist.build_seconds == after_first
+        nlist.build(atoms, box)
+        assert nlist.build_seconds > after_first

@@ -76,6 +76,13 @@ class TestReportParity:
             serial_report.energy_drift_per_atom(len(atoms)), abs=1e-10
         )
         assert engine_report.steps_per_second > 0.0
+        # both loops account wall-clock spent inside neighbour-list builds
+        assert serial_report.neighbor_build_seconds > 0.0
+        assert engine_report.neighbor_build_seconds > 0.0
+        per_rank = engine.neighbor_build_times()
+        assert per_rank.shape == (engine.n_ranks,)
+        assert np.all(per_rank > 0.0)
+        assert engine_report.neighbor_build_seconds == pytest.approx(per_rank.sum())
         # trajectory snapshots line up frame by frame
         assert len(engine.trajectory) == len(serial.trajectory) == 2
         np.testing.assert_allclose(engine.trajectory[-1], serial.trajectory[-1], atol=1e-10)

@@ -1,13 +1,15 @@
-"""Perf smoke test: the vectorized inference path must stay fast.
+"""Perf smoke tests: the vectorized hot paths must stay fast.
 
 Marked ``slow`` and excluded from the tier-1 run (see ``pytest.ini``); run
 explicitly with::
 
     PYTHONPATH=src python -m pytest -m slow tests/test_perf_smoke.py -s
 
-The assertion is deliberately loose (2x, against a measured ~30x) so the test
-only fires when someone genuinely reintroduces Python-level per-atom loops
-into the hot path, not on scheduler noise.
+Two hot paths are guarded: Deep Potential inference (vectorized vs the scalar
+reference) and the neighbour-list build (vectorized binned build vs the
+brute-force reference).  The assertions are deliberately loose against the
+measured margins so they only fire when someone genuinely reintroduces
+Python-level loops into a hot path, not on scheduler noise.
 """
 
 from __future__ import annotations
@@ -18,8 +20,8 @@ import numpy as np
 import pytest
 
 from repro.deepmd import DeepPotential, DeepPotentialConfig
-from repro.md import water_system
-from repro.md.neighbor import build_neighbor_data
+from repro.md import Box, water_system
+from repro.md.neighbor import _brute_force_pairs, _cell_list_pairs, build_neighbor_data
 
 #: Minimum speedup of the vectorized path over the scalar reference that this
 #: smoke test insists on (the real margin is far larger; see
@@ -61,4 +63,39 @@ def test_vectorized_inference_beats_scalar_on_512_atoms():
     assert speedup >= SMOKE_SPEEDUP, (
         f"vectorized path only {speedup:.2f}x faster than the scalar reference - "
         "a Python-level loop has probably crept back into the hot path"
+    )
+
+
+@pytest.mark.slow
+def test_binned_neighbor_build_beats_brute_force_at_1200_atoms():
+    """The vectorized binned build must stay far ahead of the O(N^2) search.
+
+    Measured margin is ~15x at 1200 atoms (brute ~110 ms, binned ~8 ms); the
+    3x assertion only fires when a Python-level loop over cells (or an O(N^2)
+    fallback) creeps back into ``_cell_list_pairs``.
+    """
+    rng = np.random.default_rng(23)
+    n, density, search = 1200, 0.09, 5.0
+    length = (n / density) ** (1.0 / 3.0)
+    box = Box.cubic(length)
+    positions = rng.uniform(0.0, length, size=(n, 3))
+
+    t0 = time.perf_counter()
+    _brute_force_pairs(positions, box, search)
+    t_brute = time.perf_counter() - t0
+
+    t_binned = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _cell_list_pairs(positions, box, search)
+        t_binned = min(t_binned, time.perf_counter() - t0)
+
+    speedup = t_brute / t_binned
+    print(
+        f"\n1200-atom neighbour build: brute {t_brute*1e3:.0f} ms, "
+        f"binned {t_binned*1e3:.0f} ms, {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"binned neighbour build only {speedup:.2f}x faster than brute force - "
+        "a Python loop or O(N^2) fallback has probably crept back in"
     )
