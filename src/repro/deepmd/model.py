@@ -199,15 +199,26 @@ class DeepPotential:
         backend: GemmBackend | None = None,
         compressed: bool = False,
         environment: LocalEnvironment | None = None,
+        workspace=None,
     ) -> ModelOutput:
-        """Energies and analytic forces with the hand-written kernels."""
+        """Energies and analytic forces with the hand-written kernels.
+
+        ``workspace`` (a :class:`repro.md.workspace.Workspace`) reuses the
+        per-atom/force/virial output buffers across calls — the arithmetic is
+        unchanged (buffers are zero-filled), only the allocations go away.
+        """
         policy = get_policy(precision)
         backend = backend or GemmBackend()
         env = environment if environment is not None else self.build_environment(atoms, box, neighbors)
         n = env.n_atoms
-        per_atom = np.zeros(n)
-        forces = np.zeros((n, 3))
-        virial = np.zeros((3, 3))
+        if workspace is not None:
+            per_atom = workspace.zeros("dp.per_atom", n)
+            forces = workspace.zeros("dp.forces", (n, 3))
+            virial = workspace.zeros("dp.virial", (3, 3))
+        else:
+            per_atom = np.zeros(n)
+            forces = np.zeros((n, 3))
+            virial = np.zeros((3, 3))
 
         for ti in range(self.n_types):
             idx = np.nonzero(env.types == ti)[0]

@@ -59,7 +59,9 @@ class DeepPotentialForceField(ForceField):
             return "framework"
         return "vectorized"
 
-    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+    def compute(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
+    ) -> ForceResult:
         self.n_evaluations += 1
         if self.use_scalar_reference:
             output = self.model.evaluate_scalar(atoms, box, neighbors)
@@ -73,6 +75,7 @@ class DeepPotentialForceField(ForceField):
                 precision=self.precision,
                 backend=self.backend,
                 compressed=self.compressed,
+                workspace=workspace,
             )
         return ForceResult(
             energy=output.energy,

@@ -14,7 +14,11 @@ integration.  This package implements that structure in NumPy:
   Gupta/EAM-like copper references and a flexible SPC-like water reference
   (the "pseudo-AIMD" data generators),
 * :class:`VelocityVerlet` + thermostats — time integration,
-* :class:`Simulation` — the run loop with LAMMPS-style per-phase timing,
+* :class:`SteppingLoop` / :class:`EngineBackend` — the *single* run-loop
+  implementation with LAMMPS-style per-phase timing, driving both the serial
+  :class:`Simulation` backend and the domain-decomposed engine,
+* :class:`Workspace` — preallocated per-step scratch buffers (near-zero
+  steady-state allocations),
 * :func:`radial_distribution_function` — the analysis used by Fig. 6.
 """
 
@@ -25,7 +29,9 @@ from .water import water_system, WaterTopology
 from .neighbor import NeighborList, NeighborData
 from .integrators import VelocityVerlet
 from .thermostats import LangevinThermostat, BerendsenThermostat, VelocityRescale
-from .simulation import Simulation, SimulationReport
+from .simulation import Simulation
+from .stepping import EngineBackend, SimulationReport, SteppingLoop
+from .workspace import Workspace
 from .rdf import radial_distribution_function, partial_rdf
 from .forcefields import (
     ForceField,
@@ -51,6 +57,9 @@ __all__ = [
     "VelocityRescale",
     "Simulation",
     "SimulationReport",
+    "SteppingLoop",
+    "EngineBackend",
+    "Workspace",
     "radial_distribution_function",
     "partial_rdf",
     "ForceField",

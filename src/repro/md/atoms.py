@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..units import MASSES, maxwell_boltzmann_sigma
+from ..units import MASSES, maxwell_boltzmann_sigmas
 from ..utils.rng import default_rng
 
 
@@ -116,9 +116,7 @@ class Atoms:
         n = self.n_atoms
         if n == 0:
             return
-        sigmas = np.array(
-            [maxwell_boltzmann_sigma(m, temperature_k) for m in self.masses]
-        )
+        sigmas = maxwell_boltzmann_sigmas(self.masses, temperature_k)
         self.velocities = rng.normal(size=(n, 3)) * sigmas[:, None]
         if zero_momentum and n > 1:
             total_mass = self.masses.sum()

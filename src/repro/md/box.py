@@ -37,10 +37,19 @@ class Box:
     def volume(self) -> float:
         return float(np.prod(self.lengths))
 
-    def wrap(self, positions: np.ndarray) -> np.ndarray:
-        """Wrap positions back into the primary cell (periodic axes only)."""
+    def wrap(self, positions: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Wrap positions back into the primary cell (periodic axes only).
+
+        With ``out`` (which may alias ``positions``) the result is written in
+        place instead of into a fresh copy; the arithmetic is identical.
+        """
         positions = np.asarray(positions, dtype=np.float64)
-        wrapped = positions.copy()
+        if out is None:
+            wrapped = positions.copy()
+        else:
+            wrapped = out
+            if wrapped is not positions:
+                np.copyto(wrapped, positions)
         for axis in range(3):
             if self.periodic[axis]:
                 length = self.lengths[axis]

@@ -17,6 +17,7 @@ import numpy as np
 from ..atoms import Atoms
 from ..box import Box
 from ..neighbor import NeighborData
+from ..workspace import minimum_image_into, scatter_add_scalars, scatter_add_vectors
 from .base import ForceField, ForceResult
 
 #: Cleri & Rosato (PRB 48, 22) parameters for Cu.
@@ -92,7 +93,11 @@ class GuptaPotential(ForceField):
         """
         return drep_dr - 0.5 * (inv_sqrt_i + inv_sqrt_j) * drho_dr
 
-    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+    def compute(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
+    ) -> ForceResult:
+        if workspace is not None:
+            return self._compute_workspace(atoms, box, neighbors, workspace)
         n = len(atoms)
         pairs = neighbors.pairs
         forces = np.zeros((n, 3))
@@ -131,6 +136,67 @@ class GuptaPotential(ForceField):
         pair_forces = (f_mag / r)[:, None] * delta
         np.add.at(forces, i_idx, pair_forces)
         np.add.at(forces, j_idx, -pair_forces)
+        return ForceResult(energy, forces, per_atom)
+
+    def _compute_workspace(self, atoms: Atoms, box: Box, neighbors: NeighborData, w) -> ForceResult:
+        """Preallocated hot path: in-cutoff pairs are *compressed* (the
+        exp-heavy staged terms only run on surviving pairs), per-atom
+        densities and the Newton scatter accumulate through ``np.bincount``
+        into workspace buffers; the staged ``pair_terms`` /
+        ``embedding_terms`` / ``pair_dE_dr`` formulas stay the single source
+        of truth shared with the parallel density evaluator."""
+        n = len(atoms)
+        pairs = neighbors.pairs
+        forces = w.zeros("gupta.forces", (n, 3))
+        per_atom = w.zeros("gupta.per_atom", n)
+        n_pairs = len(pairs)
+        if n_pairs == 0:
+            return ForceResult(0.0, forces, per_atom)
+        delta_all = w.capacity("gupta.delta_all", n_pairs, (3,))
+        gather = w.capacity("gupta.gather", n_pairs, (3,))
+        np.take(atoms.positions, pairs[:, 0], axis=0, out=delta_all)
+        np.take(atoms.positions, pairs[:, 1], axis=0, out=gather)
+        delta_all -= gather
+        scratch = w.capacity("gupta.scratch", n_pairs)
+        minimum_image_into(box, delta_all, scratch)
+        r_all = w.capacity("gupta.r_all", n_pairs)
+        np.einsum("ij,ij->i", delta_all, delta_all, out=r_all)
+        np.sqrt(r_all, out=r_all)
+
+        keep = np.nonzero(r_all <= self.cutoff)[0]
+        m = len(keep)
+        if m == 0:
+            return ForceResult(0.0, forces, per_atom)
+        i_idx = w.capacity("gupta.i", m, dtype=np.int64)
+        j_idx = w.capacity("gupta.j", m, dtype=np.int64)
+        np.take(pairs[:, 0], keep, out=i_idx)
+        np.take(pairs[:, 1], keep, out=j_idx)
+        delta = w.capacity("gupta.delta", m, (3,))
+        np.take(delta_all, keep, axis=0, out=delta)
+        r = w.capacity("gupta.r", m)
+        np.take(r_all, keep, out=r)
+
+        repulsion, density_pair, drep_dr, drho_dr = self.pair_terms(r)
+
+        rep_atom = w.zeros("gupta.rep_atom", n)
+        scatter_add_scalars(rep_atom, i_idx, repulsion)
+        scatter_add_scalars(rep_atom, j_idx, repulsion)
+        rho = w.zeros("gupta.rho", n)
+        scatter_add_scalars(rho, i_idx, density_pair)
+        scatter_add_scalars(rho, j_idx, density_pair)
+
+        sqrt_rho, inv_sqrt = self.embedding_terms(rho)
+        np.subtract(rep_atom, sqrt_rho, out=per_atom)
+        isolated = rho == 0.0
+        per_atom[isolated] = rep_atom[isolated]
+        energy = float(per_atom.sum())
+
+        dE_dr = self.pair_dE_dr(drep_dr, drho_dr, inv_sqrt[i_idx], inv_sqrt[j_idx])
+        coeff = w.capacity("gupta.coeff", m)
+        np.negative(dE_dr, out=coeff)
+        coeff /= r
+        delta *= coeff[:, None]
+        scatter_add_vectors(forces, i_idx, j_idx, delta)
         return ForceResult(energy, forces, per_atom)
 
     def cohesive_energy_estimate(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> float:

@@ -12,6 +12,7 @@ import numpy as np
 from ..atoms import Atoms
 from ..box import Box
 from ..neighbor import NeighborData
+from ..workspace import minimum_image_into, scatter_add_scalars, scatter_add_vectors
 from .base import ForceField, ForceResult, accumulate_pair_forces
 
 
@@ -28,7 +29,11 @@ class LennardJones(ForceField):
         sr6 = (self.sigma / self.cutoff) ** 6
         self._e_cut = 4.0 * self.epsilon * (sr6 * sr6 - sr6) if shift else 0.0
 
-    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+    def compute(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
+    ) -> ForceResult:
+        if workspace is not None:
+            return self._compute_workspace(atoms, box, neighbors, workspace)
         n = len(atoms)
         pairs = neighbors.pairs
         forces = np.zeros((n, 3))
@@ -59,3 +64,70 @@ class LennardJones(ForceField):
         np.add.at(per_atom, pairs[:, 0], 0.5 * pair_energy)
         np.add.at(per_atom, pairs[:, 1], 0.5 * pair_energy)
         return ForceResult(float(pair_energy.sum()), forces, per_atom)
+
+    def _compute_workspace(self, atoms: Atoms, box: Box, neighbors: NeighborData, w) -> ForceResult:
+        """The preallocated hot path: same per-pair arithmetic as the
+        reference ``compute`` above, staged through workspace buffers.
+
+        Out-of-cutoff pairs (the neighbour list carries the skin) are handled
+        by *masked* arithmetic — their energy/force terms are multiplied to
+        exact zero instead of being compressed out — so no boolean-index
+        re-gathers are needed and every array keeps the stable between-rebuild
+        pair count.  The Newton scatter runs through ``np.bincount``.
+        """
+        n = len(atoms)
+        pairs = neighbors.pairs
+        forces = w.zeros("lj.forces", (n, 3))
+        per_atom = w.zeros("lj.per_atom", n)
+        n_pairs = len(pairs)
+        if n_pairs == 0:
+            return ForceResult(0.0, forces, per_atom)
+        # contiguous index copies: consumed by one take and six bincounts
+        i = w.capacity("lj.i", n_pairs, dtype=np.int64)
+        j = w.capacity("lj.j", n_pairs, dtype=np.int64)
+        np.copyto(i, pairs[:, 0])
+        np.copyto(j, pairs[:, 1])
+
+        delta = w.capacity("lj.delta", n_pairs, (3,))
+        gather = w.capacity("lj.gather", n_pairs, (3,))
+        np.take(atoms.positions, i, axis=0, out=delta)
+        np.take(atoms.positions, j, axis=0, out=gather)
+        delta -= gather
+        scratch = w.capacity("lj.scratch", n_pairs)
+        minimum_image_into(box, delta, scratch)
+
+        r2 = w.capacity("lj.r2", n_pairs)
+        np.einsum("ij,ij->i", delta, delta, out=r2)
+        mask = w.capacity("lj.mask", n_pairs, dtype=np.bool_)
+        np.less_equal(r2, self.cutoff * self.cutoff, out=mask)
+
+        inv_r2 = w.capacity("lj.inv_r2", n_pairs)
+        np.divide(1.0, r2, out=inv_r2)
+        sr2 = w.capacity("lj.sr2", n_pairs)
+        np.multiply(inv_r2, self.sigma * self.sigma, out=sr2)
+        sr6 = w.capacity("lj.sr6", n_pairs)
+        np.multiply(sr2, sr2, out=sr6)
+        sr6 *= sr2
+        sr12 = w.capacity("lj.sr12", n_pairs)
+        np.multiply(sr6, sr6, out=sr12)
+
+        pair_energy = w.capacity("lj.energy", n_pairs)
+        np.subtract(sr12, sr6, out=pair_energy)
+        pair_energy *= 4.0 * self.epsilon
+        pair_energy -= self._e_cut
+        pair_energy *= mask
+
+        coeff = w.capacity("lj.coeff", n_pairs)
+        np.multiply(sr12, 2.0, out=coeff)
+        coeff -= sr6
+        coeff *= 24.0 * self.epsilon
+        coeff *= inv_r2
+        coeff *= mask
+
+        delta *= coeff[:, None]
+        scatter_add_vectors(forces, i, j, delta)
+        energy = float(pair_energy.sum())
+        pair_energy *= 0.5
+        scatter_add_scalars(per_atom, i, pair_energy)
+        scatter_add_scalars(per_atom, j, pair_energy)
+        return ForceResult(energy, forces, per_atom)

@@ -12,6 +12,7 @@ import numpy as np
 from ..atoms import Atoms
 from ..box import Box
 from ..neighbor import NeighborData
+from ..workspace import minimum_image_into, scatter_add_scalars, scatter_add_vectors
 from .base import ForceField, ForceResult, accumulate_pair_forces
 
 #: Literature Morse parameters for copper (Girifalco & Weizer, 1959).
@@ -48,7 +49,11 @@ class MorsePotential(ForceField):
         dedr = self.d * (-2.0 * self.alpha * x * x + 2.0 * self.alpha * x)
         return energy, -dedr
 
-    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+    def compute(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
+    ) -> ForceResult:
+        if workspace is not None:
+            return self._compute_workspace(atoms, box, neighbors, workspace)
         n = len(atoms)
         pairs = neighbors.pairs
         forces = np.zeros((n, 3))
@@ -68,3 +73,64 @@ class MorsePotential(ForceField):
         np.add.at(per_atom, pairs[:, 0], 0.5 * energy)
         np.add.at(per_atom, pairs[:, 1], 0.5 * energy)
         return ForceResult(float(energy.sum()), forces, per_atom)
+
+    def _compute_workspace(self, atoms: Atoms, box: Box, neighbors: NeighborData, w) -> ForceResult:
+        """Preallocated hot path: masked per-pair arithmetic (skin pairs
+        multiply to exact zero) over workspace buffers, bincount scatter."""
+        n = len(atoms)
+        pairs = neighbors.pairs
+        forces = w.zeros("morse.forces", (n, 3))
+        per_atom = w.zeros("morse.per_atom", n)
+        n_pairs = len(pairs)
+        if n_pairs == 0:
+            return ForceResult(0.0, forces, per_atom)
+        i = w.capacity("morse.i", n_pairs, dtype=np.int64)
+        j = w.capacity("morse.j", n_pairs, dtype=np.int64)
+        np.copyto(i, pairs[:, 0])
+        np.copyto(j, pairs[:, 1])
+
+        delta = w.capacity("morse.delta", n_pairs, (3,))
+        gather = w.capacity("morse.gather", n_pairs, (3,))
+        np.take(atoms.positions, i, axis=0, out=delta)
+        np.take(atoms.positions, j, axis=0, out=gather)
+        delta -= gather
+        scratch = w.capacity("morse.scratch", n_pairs)
+        minimum_image_into(box, delta, scratch)
+
+        r = w.capacity("morse.r", n_pairs)
+        np.einsum("ij,ij->i", delta, delta, out=r)
+        np.sqrt(r, out=r)
+        mask = w.capacity("morse.mask", n_pairs, dtype=np.bool_)
+        np.less_equal(r, self.cutoff, out=mask)
+
+        # x = exp(-alpha (r - r0)); energy = d (x^2 - 2x) - e_cut
+        x = w.capacity("morse.x", n_pairs)
+        np.subtract(r, self.r0, out=x)
+        x *= -self.alpha
+        np.exp(x, out=x)
+        energy = w.capacity("morse.energy", n_pairs)
+        np.multiply(x, x, out=energy)
+        two_x = w.capacity("morse.two_x", n_pairs)
+        np.multiply(x, 2.0, out=two_x)
+        energy -= two_x
+        energy *= self.d
+        energy -= self._e_cut
+        energy *= mask
+
+        # f_mag = -dE/dr = -d (-2 a x^2 + 2 a x)
+        f_mag = w.capacity("morse.f_mag", n_pairs)
+        np.multiply(x, x, out=f_mag)
+        f_mag *= -2.0 * self.alpha
+        two_x *= self.alpha  # (2 x) * alpha == 2 alpha x
+        f_mag += two_x
+        f_mag *= -self.d
+        f_mag *= mask
+        f_mag /= r
+
+        delta *= f_mag[:, None]
+        scatter_add_vectors(forces, i, j, delta)
+        total = float(energy.sum())
+        energy *= 0.5
+        scatter_add_scalars(per_atom, i, energy)
+        scatter_add_scalars(per_atom, j, energy)
+        return ForceResult(total, forces, per_atom)

@@ -20,6 +20,7 @@ from ..atoms import Atoms
 from ..box import Box
 from ..neighbor import NeighborData
 from ..water import WaterTopology
+from ..workspace import scatter_add_scalars, scatter_add_vectors
 from .base import ForceField, ForceResult
 
 #: Coulomb constant e^2 / (4 pi eps0) in eV*A.
@@ -132,7 +133,13 @@ class WaterReference(ForceField):
 
     # -- intermolecular terms ---------------------------------------------------
     def _nonbonded_terms(
-        self, atoms: Atoms, box: Box, neighbors: NeighborData, forces: np.ndarray, per_atom: np.ndarray
+        self,
+        atoms: Atoms,
+        box: Box,
+        neighbors: NeighborData,
+        forces: np.ndarray,
+        per_atom: np.ndarray,
+        workspace=None,
     ) -> float:
         pairs = neighbors.pairs
         if len(pairs) == 0:
@@ -161,8 +168,14 @@ class WaterReference(ForceField):
 
         # O-O Lennard-Jones.
         oo_mask = (atoms.types[pairs[:, 0]] == 0) & (atoms.types[pairs[:, 1]] == 0)
-        e_lj = np.zeros_like(e_coul)
-        f_lj = np.zeros_like(f_coul)
+        if workspace is not None:
+            e_lj = workspace.capacity("water.e_lj", len(e_coul))
+            f_lj = workspace.capacity("water.f_lj", len(f_coul))
+            e_lj.fill(0.0)
+            f_lj.fill(0.0)
+        else:
+            e_lj = np.zeros_like(e_coul)
+            f_lj = np.zeros_like(f_coul)
         if np.any(oo_mask):
             inv_r2 = 1.0 / r2[oo_mask]
             sr2 = self.lj_sigma * self.lj_sigma * inv_r2
@@ -174,18 +187,32 @@ class WaterReference(ForceField):
         energy = e_coul + e_lj
         f_mag = f_coul + f_lj
         pair_forces = (f_mag * inv_r)[:, None] * delta
-        np.add.at(forces, pairs[:, 0], pair_forces)
-        np.add.at(forces, pairs[:, 1], -pair_forces)
-        np.add.at(per_atom, pairs[:, 0], 0.5 * energy)
-        np.add.at(per_atom, pairs[:, 1], 0.5 * energy)
+        if workspace is not None:
+            # the nonbonded pair list dominates the term count — scatter it
+            # through bincount instead of the np.add.at scalar loop
+            scatter_add_vectors(forces, pairs[:, 0], pairs[:, 1], pair_forces)
+            half = 0.5 * energy
+            scatter_add_scalars(per_atom, pairs[:, 0], half)
+            scatter_add_scalars(per_atom, pairs[:, 1], half)
+        else:
+            np.add.at(forces, pairs[:, 0], pair_forces)
+            np.add.at(forces, pairs[:, 1], -pair_forces)
+            np.add.at(per_atom, pairs[:, 0], 0.5 * energy)
+            np.add.at(per_atom, pairs[:, 1], 0.5 * energy)
         return float(energy.sum())
 
-    def compute(self, atoms: Atoms, box: Box, neighbors: NeighborData) -> ForceResult:
+    def compute(
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
+    ) -> ForceResult:
         n = len(atoms)
-        forces = np.zeros((n, 3))
-        per_atom = np.zeros(n)
+        if workspace is not None:
+            forces = workspace.zeros("water.forces", (n, 3))
+            per_atom = workspace.zeros("water.per_atom", n)
+        else:
+            forces = np.zeros((n, 3))
+            per_atom = np.zeros(n)
         energy = 0.0
         energy += self._bond_terms(atoms, box, forces, per_atom)
         energy += self._angle_terms(atoms, box, forces, per_atom)
-        energy += self._nonbonded_terms(atoms, box, neighbors, forces, per_atom)
+        energy += self._nonbonded_terms(atoms, box, neighbors, forces, per_atom, workspace)
         return ForceResult(energy, forces, per_atom)

@@ -23,17 +23,37 @@ class VelocityVerlet:
             raise ValueError("timestep must be positive")
         self.dt = float(timestep_fs)
 
-    def first_half(self, atoms: Atoms, box: Box) -> None:
-        """Advance velocities half a step, positions a full step."""
-        acc = ACC_CONV * atoms.forces / atoms.masses[:, None]
-        atoms.velocities += 0.5 * self.dt * acc
-        atoms.positions += self.dt * atoms.velocities
-        atoms.positions = box.wrap(atoms.positions)
+    def _half_kick(self, atoms: Atoms, workspace) -> None:
+        """``v += 0.5 dt a`` with identical arithmetic on both paths.
 
-    def second_half(self, atoms: Atoms, box: Box) -> None:
+        The workspace path stages ``((ACC_CONV * F) / m) * (0.5 dt)`` through
+        one reusable buffer; every element sees the same operations in the
+        same order as the allocating expression, so the two are bit-equal.
+        """
+        if workspace is None:
+            atoms.velocities += 0.5 * self.dt * (ACC_CONV * atoms.forces / atoms.masses[:, None])
+            return
+        acc = workspace.buffer("vv.acc", atoms.forces.shape)
+        np.multiply(atoms.forces, ACC_CONV, out=acc)
+        acc /= atoms.masses[:, None]
+        acc *= 0.5 * self.dt
+        atoms.velocities += acc
+
+    def first_half(self, atoms: Atoms, box: Box, workspace=None) -> None:
+        """Advance velocities half a step, positions a full step."""
+        self._half_kick(atoms, workspace)
+        if workspace is None:
+            atoms.positions += self.dt * atoms.velocities
+            atoms.positions = box.wrap(atoms.positions)
+        else:
+            drift = workspace.buffer("vv.drift", atoms.velocities.shape)
+            np.multiply(atoms.velocities, self.dt, out=drift)
+            atoms.positions += drift
+            atoms.positions = box.wrap(atoms.positions, out=atoms.positions)
+
+    def second_half(self, atoms: Atoms, box: Box, workspace=None) -> None:
         """Advance velocities the remaining half step with the new forces."""
-        acc = ACC_CONV * atoms.forces / atoms.masses[:, None]
-        atoms.velocities += 0.5 * self.dt * acc
+        self._half_kick(atoms, workspace)
 
     def step(self, atoms: Atoms, box: Box, force_callback) -> float:
         """One full step; ``force_callback(atoms)`` must refresh ``atoms.forces``

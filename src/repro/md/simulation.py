@@ -1,18 +1,25 @@
-"""The MD run loop with LAMMPS-style per-phase accounting.
+"""The serial MD backend over the shared stepping core.
 
-``Simulation`` drives velocity-Verlet dynamics for any :class:`ForceField`
-(including the Deep Potential pair style), rebuilding the neighbour list on
-the skin/steps criterion and recording wall-clock time per phase (pair,
-neighbour, integrate, thermostat, other).  The per-phase breakdown mirrors the
-structure the paper optimizes; the large-scale timing *model* lives in
-:mod:`repro.perfmodel`, while this loop provides the real numerical dynamics
-used by the accuracy experiments (Table II, Fig. 6).
+``Simulation`` is the single-process execution strategy: all atoms live in
+one :class:`Atoms` container over the full periodic box, forces come from one
+:class:`NeighborList`-driven evaluation, and the integrator touches the
+arrays directly.  The run loop itself — velocity-Verlet sequencing,
+thermostat application, sampling, trajectory capture, per-phase accounting
+and :class:`SimulationReport` assembly — lives in
+:class:`repro.md.stepping.SteppingLoop`; this module only implements the
+:class:`~repro.md.stepping.EngineBackend` hooks.
 
-The serial loop is also the parity reference for the domain-decomposed engine
-(:class:`repro.parallel.engine.DomainDecomposedSimulation`), which emits the
-same :class:`SimulationReport` with an additional ``comm`` timer phase for the
-ghost exchange; the two are pinned together by
+The serial backend is also the parity reference for the domain-decomposed
+engine (:class:`repro.parallel.engine.DomainDecomposedSimulation`), the other
+backend of the same loop, which adds a ``comm`` timer phase for the ghost
+exchange; the two are pinned together by
 ``tests/test_parallel_engine_parity.py``.
+
+Per-step scratch (forces, per-atom energies, pair temporaries, integrator
+accelerations) comes from a preallocated :class:`~repro.md.workspace.Workspace`
+by default; construct with ``use_workspace=False`` to run the original
+allocating reference paths (the baseline ``benchmarks/bench_run_loop.py``
+measures against).
 """
 
 from __future__ import annotations
@@ -21,59 +28,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..units import temperature as instantaneous_temperature
+from ..units import kinetic_energy, temperature as instantaneous_temperature
 from ..utils.timer import PhaseTimer
 from .atoms import Atoms
 from .box import Box
 from .forcefields.base import ForceField
 from .integrators import VelocityVerlet
 from .neighbor import NeighborList
+from .stepping import EngineBackend, SimulationReport, SteppingLoop, validate_cutoff
 from .thermostats import Thermostat
+from .workspace import Workspace
+
+__all__ = ["Simulation", "SimulationReport"]
 
 
 @dataclass
-class SimulationReport:
-    """Summary of one ``run`` call."""
-
-    n_steps: int
-    potential_energies: np.ndarray
-    temperatures: np.ndarray
-    timers: PhaseTimer
-    neighbor_builds: int
-    #: wall-clock seconds accounted to *this* ``run`` call (the timers object
-    #: accumulates across successive runs of the same simulation).
-    elapsed_seconds: float = 0.0
-    #: ``describe()`` of the force field, if it provides one — records which
-    #: inference path (e.g. vectorized vs scalar-reference Deep Potential)
-    #: produced this trajectory.
-    force_field_info: dict = field(default_factory=dict)
-    #: cumulative wall-clock seconds spent inside neighbour-list *builds*
-    #: (summed over ranks for the domain-decomposed engine; excludes the
-    #: per-step staleness checks the ``neigh`` timer phase also covers).
-    neighbor_build_seconds: float = 0.0
-
-    @property
-    def final_potential_energy(self) -> float:
-        return float(self.potential_energies[-1]) if len(self.potential_energies) else 0.0
-
-    @property
-    def mean_temperature(self) -> float:
-        return float(self.temperatures.mean()) if len(self.temperatures) else 0.0
-
-    @property
-    def steps_per_second(self) -> float:
-        """MD throughput over this run's accounted wall-clock time."""
-        return self.n_steps / self.elapsed_seconds if self.elapsed_seconds > 0.0 else 0.0
-
-    def energy_drift_per_atom(self, n_atoms: int) -> float:
-        """|E_last - E_first| / n_atoms, a cheap NVE-quality metric (eV/atom)."""
-        if len(self.potential_energies) < 2 or n_atoms == 0:
-            return 0.0
-        return abs(float(self.potential_energies[-1] - self.potential_energies[0])) / n_atoms
-
-
-@dataclass
-class Simulation:
+class Simulation(EngineBackend):
     """A serial MD simulation over the full periodic box."""
 
     atoms: Atoms
@@ -84,28 +54,63 @@ class Simulation:
     neighbor_every: int = 50
     thermostat: Thermostat | None = None
     timers: PhaseTimer = field(default_factory=PhaseTimer)
+    #: route per-step scratch through a preallocated :class:`Workspace`
+    #: (False = the original allocating reference paths, bit-for-bit pre-PR).
+    use_workspace: bool = True
 
     def __post_init__(self) -> None:
-        cutoff = getattr(self.force_field, "cutoff", 0.0)
-        if cutoff <= 0:
-            raise ValueError("force field must define a positive cutoff")
+        cutoff = validate_cutoff(self.force_field)
         self.integrator = VelocityVerlet(self.timestep_fs)
         self.neighbor_list = NeighborList(
             cutoff=cutoff, skin=self.neighbor_skin, rebuild_every=self.neighbor_every
         )
+        self.workspace: Workspace | None = Workspace() if self.use_workspace else None
         self._last_energy: float | None = None
         self.last_virial: np.ndarray | None = None
+        self.trajectory: list[np.ndarray] = []
 
     # -- single force evaluation ------------------------------------------------
     def compute_forces(self) -> float:
         with self.timers.phase("neigh"):
             data, _ = self.neighbor_list.maybe_rebuild(self.atoms, self.box)
         with self.timers.phase("pair"):
-            result = self.force_field.compute(self.atoms, self.box, data)
-        self.atoms.forces = result.forces
+            result = self.force_field.compute(self.atoms, self.box, data, workspace=self.workspace)
+        if self.workspace is not None:
+            # result arrays live in the workspace pool (valid only until the
+            # next evaluation) — keep the public surfaces (atoms.forces,
+            # last_virial) on persistent storage outside the pool
+            if self.atoms.forces.shape == result.forces.shape:
+                np.copyto(self.atoms.forces, result.forces)
+            else:
+                self.atoms.forces = result.forces.copy()
+            self.last_virial = None if result.virial is None else result.virial.copy()
+        else:
+            self.atoms.forces = result.forces
+            self.last_virial = result.virial
         self._last_energy = result.energy
-        self.last_virial = result.virial
         return result.energy
+
+    # -- EngineBackend hooks ------------------------------------------------------
+    def integrate_first_half(self) -> None:
+        self.integrator.first_half(self.atoms, self.box, workspace=self.workspace)
+
+    def integrate_second_half(self) -> None:
+        self.integrator.second_half(self.atoms, self.box, workspace=self.workspace)
+
+    def apply_thermostat(self) -> None:
+        self.thermostat.apply(self.atoms, self.timestep_fs)
+
+    def sample_temperature(self) -> float:
+        return instantaneous_temperature(self.atoms.masses, self.atoms.velocities)
+
+    def capture_positions(self) -> np.ndarray:
+        return self.atoms.positions.copy()
+
+    def neighbor_build_count(self) -> int:
+        return self.neighbor_list.n_builds
+
+    def neighbor_build_seconds(self) -> float:
+        return self.neighbor_list.build_seconds
 
     # -- the run loop -------------------------------------------------------------
     def run(
@@ -114,53 +119,18 @@ class Simulation:
         sample_every: int = 1,
         trajectory_every: int = 0,
     ) -> SimulationReport:
-        """Integrate ``n_steps`` steps.
+        """Integrate ``n_steps`` steps through the shared stepping core.
 
         ``sample_every`` controls how often energy/temperature are recorded;
         ``trajectory_every`` (if nonzero) stores position snapshots on
-        ``self.trajectory`` for RDF analysis.
+        ``self.trajectory`` for RDF analysis (0 leaves previous snapshots
+        untouched).
         """
-        if n_steps < 0:
-            raise ValueError("number of steps must be non-negative")
-        if self._last_energy is None:
-            self.compute_forces()
-        timer_start = self.timers.total()
-        energies: list[float] = []
-        temperatures: list[float] = []
-        self.trajectory: list[np.ndarray] = []
-
-        for step in range(n_steps):
-            with self.timers.phase("integrate"):
-                self.integrator.first_half(self.atoms, self.box)
-            energy = self.compute_forces()
-            with self.timers.phase("integrate"):
-                self.integrator.second_half(self.atoms, self.box)
-            if self.thermostat is not None:
-                with self.timers.phase("thermostat"):
-                    self.thermostat.apply(self.atoms, self.timestep_fs)
-            if sample_every and (step % sample_every == 0):
-                energies.append(energy)
-                temperatures.append(
-                    instantaneous_temperature(self.atoms.masses, self.atoms.velocities)
-                )
-            if trajectory_every and (step % trajectory_every == 0):
-                self.trajectory.append(self.atoms.positions.copy())
-
-        describe = getattr(self.force_field, "describe", None)
-        return SimulationReport(
-            n_steps=n_steps,
-            potential_energies=np.array(energies),
-            temperatures=np.array(temperatures),
-            timers=self.timers,
-            neighbor_builds=self.neighbor_list.n_builds,
-            elapsed_seconds=self.timers.total() - timer_start,
-            force_field_info=dict(describe()) if callable(describe) else {},
-            neighbor_build_seconds=self.neighbor_list.build_seconds,
+        return SteppingLoop(self).run(
+            n_steps, sample_every=sample_every, trajectory_every=trajectory_every
         )
 
     # -- convenience -----------------------------------------------------------
     def total_energy(self) -> float:
-        from ..units import kinetic_energy
-
         potential = self._last_energy if self._last_energy is not None else self.compute_forces()
         return potential + kinetic_energy(self.atoms.masses, self.atoms.velocities)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..units import ACC_CONV, KB, maxwell_boltzmann_sigma, temperature as instantaneous_temperature
+from ..units import maxwell_boltzmann_sigmas, temperature as instantaneous_temperature
 from ..utils.rng import default_rng
 from .atoms import Atoms
 
@@ -36,9 +36,7 @@ class LangevinThermostat(Thermostat):
     def apply(self, atoms: Atoms, timestep_fs: float) -> None:
         gamma = 1.0 / self.damping
         c1 = np.exp(-gamma * timestep_fs)
-        sigma = np.array(
-            [maxwell_boltzmann_sigma(m, self.temperature) for m in atoms.masses]
-        )
+        sigma = maxwell_boltzmann_sigmas(atoms.masses, self.temperature)
         noise = self.rng.normal(size=atoms.velocities.shape)
         atoms.velocities *= c1
         atoms.velocities += np.sqrt(1.0 - c1 * c1) * sigma[:, None] * noise

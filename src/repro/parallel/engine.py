@@ -1,9 +1,13 @@
 """Domain-decomposed MD engine over simulated MPI ranks.
 
 :class:`DomainDecomposedSimulation` runs the *same* velocity-Verlet dynamics
-as the serial :class:`repro.md.Simulation`, but with the atom arrays
-partitioned over the ranks of a :class:`~repro.parallel.topology.RankTopology`
-via :class:`~repro.parallel.decomposition.SpatialDecomposition`.  Every data
+as the serial :class:`repro.md.Simulation` — literally the same code:
+both are :class:`~repro.md.stepping.EngineBackend` implementations driven by
+the shared :class:`~repro.md.stepping.SteppingLoop`, which owns the step
+sequence, sampling, trajectory capture and report assembly.  This module only
+implements the distributed force evaluation: the atom arrays are partitioned
+over the ranks of a :class:`~repro.parallel.topology.RankTopology` via
+:class:`~repro.parallel.decomposition.SpatialDecomposition`, and every data
 movement between ranks goes through an explicit exchange method, so the loop
 has the communication structure of a real distributed MD engine while staying
 an in-process simulation.
@@ -65,8 +69,9 @@ from ..md.box import Box
 from ..md.forcefields.base import ForceField
 from ..md.integrators import VelocityVerlet
 from ..md.neighbor import NeighborData, build_neighbor_data, max_displacement
-from ..md.simulation import SimulationReport
+from ..md.stepping import EngineBackend, SimulationReport, SteppingLoop, validate_cutoff
 from ..md.thermostats import Thermostat
+from ..md.workspace import Workspace, scatter_add_scalars, scatter_add_vectors
 from ..units import temperature as instantaneous_temperature
 from ..utils.timer import PhaseTimer
 from .decomposition import DecompositionStats, SpatialDecomposition
@@ -118,6 +123,10 @@ class RankDomain:
         self.pair_seconds = 0.0
         self.neigh_seconds = 0.0
         self.scratch: dict = {}
+        #: per-rank scratch pool: force-field output buffers, integrator
+        #: stages and density accumulators live here, stable between
+        #: rebuilds/migrations (each rank of a real engine owns its own).
+        self.workspace: Workspace | None = Workspace()
 
     @property
     def n_owned(self) -> int:
@@ -209,7 +218,9 @@ class _PairEvaluator(_RankEvaluator):
             cutoff=base.cutoff,
             skin=base.skin,
         )
-        result = engine.force_field.compute(domain.local_atoms(engine.type_names), engine.box, data)
+        result = engine.force_field.compute(
+            domain.local_atoms(engine.type_names), engine.box, data, workspace=domain.workspace
+        )
         return result.energy, result.forces, result.virial
 
 
@@ -256,7 +267,7 @@ class _MolecularEvaluator(_RankEvaluator):
             skin=base.skin,
         )
         result = domain.scratch["local_ff"].compute(
-            domain.local_atoms(engine.type_names), engine.box, data
+            domain.local_atoms(engine.type_names), engine.box, data, workspace=domain.workspace
         )
         return result.energy, result.forces, result.virial
 
@@ -287,7 +298,10 @@ class _PerAtomEvaluator(_RankEvaluator):
     def finish(self, domain: RankDomain, halo):
         engine = self.engine
         result = engine.force_field.compute(
-            domain.local_atoms(engine.type_names), engine.box, domain.scratch["masked"]
+            domain.local_atoms(engine.type_names),
+            engine.box,
+            domain.scratch["masked"],
+            workspace=domain.workspace,
         )
         if result.per_atom_energy is None:
             raise RuntimeError(
@@ -341,13 +355,23 @@ class _DensityEvaluator(_RankEvaluator):
         else:
             repulsion = density_pair = drep_dr = drho_dr = np.empty(0)
 
-        rep_atom = np.zeros(n_local)
-        rho = np.zeros(n_local)
-        if len(pairs):
-            np.add.at(rep_atom, pairs[:, 0], repulsion)
-            np.add.at(rep_atom, pairs[:, 1], repulsion)
-            np.add.at(rho, pairs[:, 0], density_pair)
-            np.add.at(rho, pairs[:, 1], density_pair)
+        workspace = domain.workspace
+        if workspace is not None:
+            rep_atom = workspace.zeros("density.rep_atom", n_local)
+            rho = workspace.zeros("density.rho", n_local)
+            if len(pairs):
+                scatter_add_scalars(rep_atom, pairs[:, 0], repulsion)
+                scatter_add_scalars(rep_atom, pairs[:, 1], repulsion)
+                scatter_add_scalars(rho, pairs[:, 0], density_pair)
+                scatter_add_scalars(rho, pairs[:, 1], density_pair)
+        else:
+            rep_atom = np.zeros(n_local)
+            rho = np.zeros(n_local)
+            if len(pairs):
+                np.add.at(rep_atom, pairs[:, 0], repulsion)
+                np.add.at(rep_atom, pairs[:, 1], repulsion)
+                np.add.at(rho, pairs[:, 0], density_pair)
+                np.add.at(rho, pairs[:, 1], density_pair)
 
         sqrt_rho, inv_sqrt = force_field.embedding_terms(rho)
         per_atom = rep_atom - sqrt_rho
@@ -368,7 +392,11 @@ class _DensityEvaluator(_RankEvaluator):
             inv_sqrt[domain.n_owned:] = halo
 
         pairs = scratch["pairs"]
-        forces = np.zeros((domain.n_local, 3))
+        workspace = domain.workspace
+        if workspace is not None:
+            forces = workspace.zeros("density.forces", (domain.n_local, 3))
+        else:
+            forces = np.zeros((domain.n_local, 3))
         if len(pairs):
             keep = _owner_computed_mask(pairs, domain.local_gids, domain.n_owned)
             pairs = pairs[keep]
@@ -378,8 +406,11 @@ class _DensityEvaluator(_RankEvaluator):
                 drep_dr, drho_dr, inv_sqrt[pairs[:, 0]], inv_sqrt[pairs[:, 1]]
             )
             pair_forces = (-dE_dr / r)[:, None] * delta
-            np.add.at(forces, pairs[:, 0], pair_forces)
-            np.add.at(forces, pairs[:, 1], -pair_forces)
+            if workspace is not None:
+                scatter_add_vectors(forces, pairs[:, 0], pairs[:, 1], pair_forces)
+            else:
+                np.add.at(forces, pairs[:, 0], pair_forces)
+                np.add.at(forces, pairs[:, 1], -pair_forces)
         return scratch["energy"], forces, None
 
 
@@ -396,7 +427,7 @@ _EVALUATORS = {
 # ---------------------------------------------------------------------------
 
 
-class DomainDecomposedSimulation:
+class DomainDecomposedSimulation(EngineBackend):
     """An MD simulation distributed over simulated MPI ranks.
 
     Parameters mirror :class:`repro.md.Simulation`; additionally:
@@ -407,6 +438,11 @@ class DomainDecomposedSimulation:
     scheme:
         ghost-delivery pattern: ``"p2p"`` or ``"node-based"`` (the Fig. 7 bar
         labels such as ``"p2p-utofu"`` / ``"lb-4l"`` are accepted aliases).
+    use_workspace:
+        route per-rank scratch (force-field outputs, integrator stages,
+        gather/halo arrays) through preallocated
+        :class:`~repro.md.workspace.Workspace` pools (False = the original
+        allocating reference paths).
     """
 
     def __init__(
@@ -422,10 +458,9 @@ class DomainDecomposedSimulation:
         neighbor_every: int = 50,
         thermostat: Thermostat | None = None,
         timers: PhaseTimer | None = None,
+        use_workspace: bool = True,
     ) -> None:
-        cutoff = getattr(force_field, "cutoff", 0.0)
-        if cutoff <= 0:
-            raise ValueError("force field must define a positive cutoff")
+        cutoff = validate_cutoff(force_field)
         self.box = box
         self.force_field = force_field
         self.timestep_fs = float(timestep_fs)
@@ -470,23 +505,26 @@ class DomainDecomposedSimulation:
         self._last_energy: float | None = None
         self.last_virial: np.ndarray | None = None
         self.trajectory: list[np.ndarray] = []
+        #: engine-level scratch pool (global gathers, the density halo)
+        self.workspace: Workspace | None = Workspace() if use_workspace else None
 
         # initial distribution: every atom to the rank owning its wrapped position
         owners = self.decomposition.assign_to_ranks(atoms.positions)
         self.domains: list[RankDomain] = []
         for rank in range(self.topology.n_ranks):
             idx = np.nonzero(owners == rank)[0]
-            self.domains.append(
-                RankDomain(
-                    rank=rank,
-                    gids=idx,
-                    positions=atoms.positions[idx],
-                    velocities=atoms.velocities[idx],
-                    forces=atoms.forces[idx],
-                    masses=atoms.masses[idx],
-                    types=atoms.types[idx],
-                )
+            domain = RankDomain(
+                rank=rank,
+                gids=idx,
+                positions=atoms.positions[idx],
+                velocities=atoms.velocities[idx],
+                forces=atoms.forces[idx],
+                masses=atoms.masses[idx],
+                types=atoms.types[idx],
             )
+            if not use_workspace:
+                domain.workspace = None
+            self.domains.append(domain)
         self._owner_of = np.empty(self.n_global, dtype=np.int64)
         self._slot_of = np.empty(self.n_global, dtype=np.int64)
         self._refresh_directory()
@@ -555,6 +593,12 @@ class DomainDecomposedSimulation:
         """Rebuild every rank's ghost list through the delivery rules."""
         self.n_exchanges += 1
         counts = np.zeros(self.n_ranks, dtype=np.int64)
+        # each sender's slab is wrapped once per rebuild (it is reused for
+        # every receiver in the sender's ghost shell)
+        wrapped = [
+            self.box.wrap(domain.positions) if domain.n_owned else domain.positions
+            for domain in self.domains
+        ]
         for domain in self.domains:
             gid_parts: list[np.ndarray] = []
             pos_parts: list[np.ndarray] = []
@@ -578,7 +622,10 @@ class DomainDecomposedSimulation:
                     sender = self.domains[rank]
                     if sender.n_owned == 0:
                         continue
-                    receive(sender, self.exchange.p2p_selection(sender.positions, domain.rank))
+                    receive(
+                        sender,
+                        self.exchange.p2p_selection(wrapped[rank], domain.rank, prewrapped=True),
+                    )
             else:
                 for rank in self.exchange.node_peer_ranks(domain.rank):
                     receive(self.domains[rank], None)
@@ -586,7 +633,10 @@ class DomainDecomposedSimulation:
                     sender = self.domains[rank]
                     if sender.n_owned == 0:
                         continue
-                    receive(sender, self.exchange.node_selection(sender.positions, domain.rank))
+                    receive(
+                        sender,
+                        self.exchange.node_selection(wrapped[rank], domain.rank, prewrapped=True),
+                    )
 
             if gid_parts:
                 gids = np.concatenate(gid_parts)
@@ -622,7 +672,10 @@ class DomainDecomposedSimulation:
 
     def _forward_halo(self, values_per_rank: list[np.ndarray]) -> list[np.ndarray]:
         """Forward a per-owned-atom scalar to every ghost copy (EAM density)."""
-        scalar_global = np.zeros(self.n_global)
+        if self.workspace is not None:
+            scalar_global = self.workspace.zeros("halo.scalar", self.n_global)
+        else:
+            scalar_global = np.zeros(self.n_global)
         for domain, values in zip(self.domains, values_per_rank):
             scalar_global[domain.gids] = values
         halos = []
@@ -711,7 +764,16 @@ class DomainDecomposedSimulation:
                     domain, halos[i] if halos is not None else None
                 )
                 domain.pair_seconds += time.perf_counter() - start
-                domain.forces = np.ascontiguousarray(local_forces[: domain.n_owned])
+                # local_forces may live in the rank workspace (valid only
+                # until its next evaluation) — owned forces must survive into
+                # the integrator, so copy them into the persistent per-rank
+                # array; the ghost tail is consumed by the reverse scatter
+                # below before the buffer is ever reused.
+                owned = local_forces[: domain.n_owned]
+                if domain.forces.shape == owned.shape:
+                    np.copyto(domain.forces, owned)
+                else:
+                    domain.forces = owned.copy()
                 domain.ghost_forces = local_forces[domain.n_owned:]
                 energy += rank_energy
                 if rank_virial is not None:
@@ -735,10 +797,10 @@ class DomainDecomposedSimulation:
             masses=domain.masses,
         )
         if half == "first":
-            self.integrator.first_half(shim, self.box)
+            self.integrator.first_half(shim, self.box, workspace=domain.workspace)
             domain.positions = shim.positions  # wrap() rebinds the attribute
         else:
-            self.integrator.second_half(shim, self.box)
+            self.integrator.second_half(shim, self.box, workspace=domain.workspace)
 
     def _apply_thermostat(self) -> None:
         """Thermostats act on gathered velocities (a collective), so even
@@ -746,62 +808,66 @@ class DomainDecomposedSimulation:
         bit-compatible with the serial loop.  Only masses and velocities are
         gathered — the fields every :class:`Thermostat` reads and mutates."""
         shim = SimpleNamespace(
-            velocities=self._gather_array("velocities"), masses=self._masses_global
+            velocities=self._gather_array("velocities", out=self._gather_buffer("thermostat")),
+            masses=self._masses_global,
         )
         self.thermostat.apply(shim, self.timestep_fs)
         for domain in self.domains:
             domain.velocities = np.ascontiguousarray(shim.velocities[domain.gids])
 
-    # -- the run loop -----------------------------------------------------------
+    # -- EngineBackend hooks (the run loop itself lives in md.stepping) -----------
+    def integrate_first_half(self) -> None:
+        for domain in self.domains:
+            self._integrate(domain, "first")
+
+    def integrate_second_half(self) -> None:
+        for domain in self.domains:
+            self._integrate(domain, "second")
+
+    def apply_thermostat(self) -> None:
+        self._apply_thermostat()
+
+    def sample_temperature(self) -> float:
+        velocities = self._gather_array("velocities", out=self._gather_buffer("sample"))
+        return instantaneous_temperature(self._masses_global, velocities)
+
+    def capture_positions(self) -> np.ndarray:
+        return self._gather_array("positions")
+
+    def neighbor_build_count(self) -> int:
+        return self.n_builds
+
+    def neighbor_build_seconds(self) -> float:
+        return float(sum(domain.neigh_seconds for domain in self.domains))
+
     def run(
         self,
         n_steps: int,
         sample_every: int = 1,
         trajectory_every: int = 0,
     ) -> SimulationReport:
-        """Integrate ``n_steps`` steps; same contract as ``Simulation.run``."""
-        if n_steps < 0:
-            raise ValueError("number of steps must be non-negative")
-        if self._last_energy is None:
-            self.compute_forces()
-        timer_start = self.timers.total()
-        energies: list[float] = []
-        temperatures: list[float] = []
-        self.trajectory = []
-
-        for step in range(n_steps):
-            with self.timers.phase("integrate"):
-                for domain in self.domains:
-                    self._integrate(domain, "first")
-            energy = self.compute_forces()
-            with self.timers.phase("integrate"):
-                for domain in self.domains:
-                    self._integrate(domain, "second")
-            if self.thermostat is not None:
-                with self.timers.phase("thermostat"):
-                    self._apply_thermostat()
-            if sample_every and (step % sample_every == 0):
-                energies.append(energy)
-                velocities = self._gather_array("velocities")
-                temperatures.append(instantaneous_temperature(self._masses_global, velocities))
-            if trajectory_every and (step % trajectory_every == 0):
-                self.trajectory.append(self._gather_array("positions"))
-
-        describe = getattr(self.force_field, "describe", None)
-        return SimulationReport(
-            n_steps=n_steps,
-            potential_energies=np.array(energies),
-            temperatures=np.array(temperatures),
-            timers=self.timers,
-            neighbor_builds=self.n_builds,
-            elapsed_seconds=self.timers.total() - timer_start,
-            force_field_info=dict(describe()) if callable(describe) else {},
-            neighbor_build_seconds=float(self.neighbor_build_times().sum()),
+        """Integrate ``n_steps`` steps; same contract as ``Simulation.run``
+        (both delegate to the shared :class:`SteppingLoop`)."""
+        return SteppingLoop(self).run(
+            n_steps, sample_every=sample_every, trajectory_every=trajectory_every
         )
 
     # -- global views ------------------------------------------------------------
-    def _gather_array(self, name: str) -> np.ndarray:
-        out = np.empty((self.n_global, 3))
+    def _gather_buffer(self, name: str) -> np.ndarray | None:
+        """A reusable ``(n_global, 3)`` gather target, or ``None`` without pool."""
+        if self.workspace is None:
+            return None
+        return self.workspace.buffer(f"gather.{name}", (self.n_global, 3))
+
+    def _gather_array(self, name: str, out: np.ndarray | None = None) -> np.ndarray:
+        """Assemble a per-atom vector array in global id order.
+
+        With ``out=None`` a fresh array is returned (safe to hold across
+        steps — the public :meth:`gather` and trajectory capture use this);
+        internal per-step reductions pass a reusable workspace buffer.
+        """
+        if out is None:
+            out = np.empty((self.n_global, 3))
         for domain in self.domains:
             out[domain.gids] = getattr(domain, name)
         return out

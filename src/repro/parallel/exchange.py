@@ -123,20 +123,30 @@ class GhostExchange:
         return [r for r in self.topology.ranks_on_node(node_coord) if r != rank]
 
     # -- per-sender selections -------------------------------------------------------
-    def p2p_selection(self, sender_positions: np.ndarray, receiver_rank: int) -> np.ndarray:
-        """Mask over a sender's atoms: within ``cutoff`` of the receiver's sub-box."""
+    def p2p_selection(
+        self, sender_positions: np.ndarray, receiver_rank: int, prewrapped: bool = False
+    ) -> np.ndarray:
+        """Mask over a sender's atoms: within ``cutoff`` of the receiver's sub-box.
+
+        ``prewrapped=True`` declares the positions already wrapped into the
+        primary cell — a sender talks to every rank of its ghost shell, so
+        the engine wraps each rank's slab once per rebuild instead of once
+        per (sender, receiver) pair.
+        """
         lower, upper = self.decomposition.rank_bounds(receiver_rank)
-        wrapped = self.box.wrap(sender_positions)
+        wrapped = sender_positions if prewrapped else self.box.wrap(sender_positions)
         distance = periodic_point_to_box_distance(wrapped, lower, upper, self.box.lengths)
         return distance <= self.cutoff
 
-    def node_selection(self, sender_positions: np.ndarray, receiver_rank: int) -> np.ndarray:
+    def node_selection(
+        self, sender_positions: np.ndarray, receiver_rank: int, prewrapped: bool = False
+    ) -> np.ndarray:
         """Mask over a sender's atoms: within ``cutoff`` of the receiver's node-box."""
         node_coord = self.topology.node_of_rank(receiver_rank)
         lengths = self.decomposition.node_box_lengths
         lower = np.array(node_coord, dtype=np.float64) * lengths
         upper = lower + lengths
-        wrapped = self.box.wrap(sender_positions)
+        wrapped = sender_positions if prewrapped else self.box.wrap(sender_positions)
         distance = periodic_point_to_box_distance(wrapped, lower, upper, self.box.lengths)
         return distance <= self.cutoff
 

@@ -118,3 +118,21 @@ def maxwell_boltzmann_sigma(mass_amu: float, temperature_k: float) -> float:
     if temperature_k < 0:
         raise ValueError("temperature must be non-negative")
     return math.sqrt(KB * temperature_k * ACC_CONV / mass_amu)
+
+
+def maxwell_boltzmann_sigmas(masses_amu, temperature_k: float):
+    """Vectorized :func:`maxwell_boltzmann_sigma` over a mass array.
+
+    Element-for-element identical to the scalar version (``sqrt`` is
+    correctly rounded either way); used by the thermostats and velocity
+    initialization so per-atom sigma arrays are one expression instead of a
+    Python loop.
+    """
+    import numpy as np
+
+    masses_amu = np.asarray(masses_amu, dtype=np.float64)
+    if np.any(masses_amu <= 0):
+        raise ValueError("mass must be positive")
+    if temperature_k < 0:
+        raise ValueError("temperature must be non-negative")
+    return np.sqrt(KB * temperature_k * ACC_CONV / masses_amu)

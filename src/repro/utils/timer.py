@@ -75,6 +75,22 @@ class PhaseTimer:
     def total(self) -> float:
         return sum(self.totals.values())
 
+    def snapshot(self) -> dict[str, float]:
+        """A frozen copy of the per-phase totals (for per-run deltas)."""
+        return dict(self.totals)
+
+    def totals_since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Per-phase seconds accumulated since ``snapshot`` was taken.
+
+        The run-loop core uses this to report each ``run`` call's own phase
+        breakdown while the timer itself keeps accumulating across runs.
+        """
+        return {
+            name: secs - snapshot.get(name, 0.0)
+            for name, secs in self.totals.items()
+            if secs - snapshot.get(name, 0.0) > 0.0
+        }
+
     def fraction(self, name: str) -> float:
         tot = self.total()
         if tot == 0.0:
