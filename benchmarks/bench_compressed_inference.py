@@ -1,0 +1,191 @@
+"""Compressed (tabulated) vs uncompressed vectorized Deep Potential inference.
+
+Model compression — replacing the embedding-net GEMMs with the batched
+multi-table cubic-Hermite interpolation of
+:class:`repro.deepmd.compression.TabulatedEmbeddingSet` — is the paper's
+headline inference optimization (the Guo et al. PPoPP'22 baseline it builds
+on).  This benchmark pins it the way PR 1/3/4 pinned their fast paths:
+
+* **steps/sec** — a ~1k-atom water Deep Potential MD run with
+  ``compressed=True`` must be >= 2x the uncompressed vectorized path
+  (~2.1-2.5x measured on this container depending on load);
+* **parity** — the batched stacked-table evaluator agrees with the per-key
+  golden table path at 1e-12 on the benchmark system's actual s values, and
+  the compressed forces stay close to the exact path;
+* **allocation budget** — a steady-state compressed MD step performs at most
+  ``ALLOCATION_BUDGET`` explicit NumPy allocator calls (PR 4's
+  zero-allocation budget, extended to ``compressed=True`` runs).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_compressed_inference.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.deepmd import DeepPotential, DeepPotentialConfig
+from repro.deepmd.pair_style import DeepPotentialForceField
+from repro.md import Simulation, water_system
+from repro.md.neighbor import build_neighbor_data
+
+#: Minimum accepted steps/sec speedup of compressed over uncompressed.
+TARGET_SPEEDUP = 2.0
+#: Batched-vs-golden table agreement on the benchmark system's inputs.
+GOLDEN_TOLERANCE = 1.0e-12
+#: Compressed-vs-exact max force deviation at the benchmark grid.
+FORCE_TOLERANCE = 1.0e-8
+#: Explicit allocator calls allowed per steady-state compressed step.
+ALLOCATION_BUDGET = 2
+#: Table resolution used for the speed runs (the paper's two-level table has
+#: a comparable node count; accuracy at this grid is ~1e-10 in the forces).
+N_POINTS = 512
+
+_COUNTED_ALLOCATORS = (
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "zeros_like",
+    "empty_like",
+    "ones_like",
+    "full_like",
+)
+
+
+class _AllocationCounter:
+    """Counts explicit NumPy array allocations while active."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._originals: dict[str, object] = {}
+
+    def __enter__(self) -> "_AllocationCounter":
+        for name in _COUNTED_ALLOCATORS:
+            original = getattr(np, name)
+            self._originals[name] = original
+
+            def counted(*args, _original=original, **kwargs):
+                self.count += 1
+                return _original(*args, **kwargs)
+
+            setattr(np, name, counted)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for name, original in self._originals.items():
+            setattr(np, name, original)
+
+
+def _benchmark_model(seed: int = 7):
+    """A ~1k-atom water box and an embedding-heavy Deep Potential.
+
+    The embedding net dominates the uncompressed inference cost (the regime
+    compression targets); the fitting net is kept small so the shared
+    descriptor/fitting work does not mask the embedding win.
+    """
+    atoms, box, _ = water_system(333, rng=seed)
+    config = DeepPotentialConfig(
+        type_names=("O", "H"),
+        cutoff=6.0,
+        cutoff_smooth=5.0,
+        embedding_sizes=(32, 64, 128),
+        axis_neurons=8,
+        fitting_sizes=(32, 32),
+        max_neighbors=100,
+        seed=seed,
+    )
+    model = DeepPotential(config)
+    rng = np.random.default_rng(seed)
+    model.set_descriptor_stats(
+        rng.normal(scale=0.1, size=(2, config.descriptor_dim)),
+        0.5 + rng.random((2, config.descriptor_dim)),
+    )
+    model.set_energy_bias(np.array([-2.0, -0.5]))
+    return model, atoms, box
+
+
+def _dp_simulation(model, atoms, box, compressed: bool) -> Simulation:
+    force_field = DeepPotentialForceField(
+        model, compressed=compressed, compression_points=N_POINTS
+    )
+    sim_atoms = atoms.copy()
+    sim_atoms.initialize_velocities(120.0, rng=3)
+    return Simulation(
+        sim_atoms,
+        box,
+        force_field,
+        timestep_fs=0.25,
+        neighbor_skin=1.5,
+        neighbor_every=50,
+    )
+
+
+def _best_steps_per_second(sim: Simulation, n_steps: int = 4, repeats: int = 3) -> float:
+    sim.run(1, sample_every=0)  # warm up: kernels exported, pools filled
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim.run(n_steps, sample_every=1)
+        best = max(best, n_steps / (time.perf_counter() - start))
+    return best
+
+
+def test_bench_compressed_speedup_and_parity():
+    """>= 2x steps/sec, with the table pinned to golden and to the exact path."""
+    model, atoms, box = _benchmark_model()
+    neighbors = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+    n = len(atoms)
+
+    # --- parity gates first: the timing means nothing if the physics drifted
+    table = model.compressed_embeddings(n_points=N_POINTS)
+    env = model.build_environment(atoms, box, neighbors)
+    s_real = env.s[env.mask > 0.0]
+    for key, slot in table._slot_of.items():
+        golden_v, golden_d = table.evaluate(key, s_real)
+        batched_v, batched_d = table.evaluate_batched(np.full(s_real.shape, slot), s_real)
+        np.testing.assert_allclose(batched_v, golden_v, rtol=0.0, atol=GOLDEN_TOLERANCE)
+        np.testing.assert_allclose(batched_d, golden_d, rtol=0.0, atol=GOLDEN_TOLERANCE)
+
+    exact = model.evaluate(atoms, box, neighbors)
+    compressed = model.evaluate(atoms, box, neighbors, compressed=True)
+    force_error = float(np.max(np.abs(compressed.forces - exact.forces)))
+    assert force_error < FORCE_TOLERANCE
+
+    # --- steps/sec: compressed vs uncompressed on the same dynamics
+    slow = _best_steps_per_second(_dp_simulation(model, atoms, box, compressed=False))
+    fast = _best_steps_per_second(_dp_simulation(model, atoms, box, compressed=True))
+    speedup = fast / slow
+    print()
+    print(f"Compressed vs exact Deep Potential MD ({n} atoms, water)")
+    print(f"  uncompressed : {slow:8.2f} steps/s")
+    print(f"  compressed   : {fast:8.2f} steps/s")
+    print(f"  speedup      : {speedup:8.2f}x (target >= {TARGET_SPEEDUP:.0f}x)")
+    print(f"  max |dF|     : {force_error:.2e} (tolerance {FORCE_TOLERANCE:.0e})")
+    assert speedup >= TARGET_SPEEDUP, (
+        f"compressed path only {speedup:.2f}x over the uncompressed vectorized "
+        f"path (expected >= {TARGET_SPEEDUP}x)"
+    )
+
+
+def test_compressed_steady_state_allocation_budget():
+    """A compressed MD step runs out of the workspace pool, not the allocator."""
+    model, atoms, box = _benchmark_model(seed=8)
+    sim = _dp_simulation(model, atoms, box, compressed=True)
+    sim.neighbor_list.rebuild_every = 0  # rebuilds only on the skin criterion
+    sim.run(3)  # fills every pool (envmat, embedding, fitting, integrator)
+    builds_before = sim.neighbor_list.n_builds
+    n_steps = 3
+    with _AllocationCounter() as counter:
+        sim.run(n_steps, sample_every=1)
+    assert sim.neighbor_list.n_builds == builds_before, (
+        "a neighbour rebuild landed in the measurement window; "
+        "the budget only applies to steady-state steps"
+    )
+    per_step = counter.count / n_steps
+    print(f"\nexplicit allocations per steady-state compressed step: {per_step:.2f} "
+          f"(budget {ALLOCATION_BUDGET})")
+    assert per_step <= ALLOCATION_BUDGET

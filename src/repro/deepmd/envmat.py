@@ -101,11 +101,15 @@ def build_local_environment(
     cutoff_smooth: float,
     max_neighbors: int | None = None,
     sort_neighbors_by_type: bool = True,
+    workspace=None,
 ) -> LocalEnvironment:
     """Build the dense local environments of all atoms.
 
     ``neighbors`` may have been built with a larger search radius (cutoff +
-    skin); neighbours beyond ``cutoff`` are dropped here.
+    skin); neighbours beyond ``cutoff`` are dropped here.  ``workspace`` (a
+    :class:`repro.md.workspace.Workspace`) reuses the padded per-atom output
+    arrays across calls — the returned environment then aliases pool buffers
+    and must not outlive the next build from the same workspace.
     """
     if cutoff <= 0 or not 0 < cutoff_smooth < cutoff:
         raise ValueError("require 0 < cutoff_smooth < cutoff")
@@ -141,7 +145,10 @@ def build_local_environment(
     # reference does with its stable argsort).
     dist_key = np.where(within, dist, np.inf)
     order_by_dist = np.argsort(dist_key, axis=1, kind="stable")
-    rank = np.empty((n, width), dtype=np.int64)
+    if workspace is not None:
+        rank = workspace.buffer("dp.env.rank", (n, width), dtype=np.int64)
+    else:
+        rank = np.empty((n, width), dtype=np.int64)
     np.put_along_axis(
         rank, order_by_dist, np.broadcast_to(np.arange(width), (n, width)), axis=1
     )
@@ -163,12 +170,22 @@ def build_local_environment(
     src_r = src // width
     src_c = src % width
 
-    R = np.zeros((n, n_pad, 4))
-    displacements = np.zeros((n, n_pad, 3))
-    distances = np.zeros((n, n_pad))
-    mask = np.zeros((n, n_pad))
-    neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)
-    neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)
+    if workspace is not None:
+        R = workspace.zeros("dp.env.R", (n, n_pad, 4))
+        displacements = workspace.zeros("dp.env.displacements", (n, n_pad, 3))
+        distances = workspace.zeros("dp.env.distances", (n, n_pad))
+        mask = workspace.zeros("dp.env.mask", (n, n_pad))
+        neighbor_indices = workspace.buffer("dp.env.neighbor_indices", (n, n_pad), dtype=np.int64)
+        neighbor_indices.fill(-1)
+        neighbor_types = workspace.buffer("dp.env.neighbor_types", (n, n_pad), dtype=np.int64)
+        neighbor_types.fill(-1)
+    else:
+        R = np.zeros((n, n_pad, 4))
+        displacements = np.zeros((n, n_pad, 3))
+        distances = np.zeros((n, n_pad))
+        mask = np.zeros((n, n_pad))
+        neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)
+        neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)
 
     displacements[out_r, out_s] = disp[src_r, src_c]
     distances[out_r, out_s] = dist[src_r, src_c]

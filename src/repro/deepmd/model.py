@@ -113,6 +113,10 @@ class DeepPotential:
         self._fast_embeddings = None
         self._fast_fittings = None
         self._compressed: TabulatedEmbeddingSet | None = None
+        self._compressed_key: tuple[int, float] | None = None
+        #: bumped by :meth:`invalidate_kernels`; consumers holding exported
+        #: kernels or tables compare it to know theirs went stale
+        self.kernel_generation = 0
 
     # -- bookkeeping -------------------------------------------------------------
     @property
@@ -130,6 +134,8 @@ class DeepPotential:
         self._fast_embeddings = None
         self._fast_fittings = None
         self._compressed = None
+        self._compressed_key = None
+        self.kernel_generation += 1
 
     def fast_embeddings(self):
         if self._fast_embeddings is None:
@@ -148,13 +154,24 @@ class DeepPotential:
 
         The switching function equals 1/r below the smooth cutoff, so the
         table must extend to 1/min_distance to cover the closest approaches
-        seen in practice.
+        seen in practice.  The cache is keyed on ``(n_points, min_distance)``:
+        asking for a different grid rebuilds the table instead of returning
+        the stale first one.
         """
-        if self._compressed is None:
+        key = (int(n_points), float(min_distance))
+        if self._compressed is None or self._compressed_key != key:
             s_max = 1.0 / max(min_distance, 1.0e-3)
             self._compressed = TabulatedEmbeddingSet(
                 self.fast_embeddings(), s_max=s_max, n_points=n_points
             )
+            self._compressed_key = key
+        return self._compressed
+
+    def active_compressed_embeddings(self) -> TabulatedEmbeddingSet:
+        """The table ``evaluate(compressed=True)`` uses: whatever table is
+        cached (however it was parameterized), else the default-parameter one."""
+        if self._compressed is None:
+            return self.compressed_embeddings()
         return self._compressed
 
     def set_descriptor_stats(self, mean: np.ndarray, std: np.ndarray) -> None:
@@ -176,7 +193,7 @@ class DeepPotential:
 
     # -- environments --------------------------------------------------------------
     def build_environment(
-        self, atoms: Atoms, box: Box, neighbors: NeighborData
+        self, atoms: Atoms, box: Box, neighbors: NeighborData, workspace=None
     ) -> LocalEnvironment:
         return build_local_environment(
             atoms,
@@ -185,6 +202,7 @@ class DeepPotential:
             cutoff=self.config.cutoff,
             cutoff_smooth=self.config.cutoff_smooth,
             max_neighbors=self.config.max_neighbors,
+            workspace=workspace,
         )
 
     # ---------------------------------------------------------------------------
@@ -198,6 +216,7 @@ class DeepPotential:
         precision: PrecisionPolicy | str = DOUBLE,
         backend: GemmBackend | None = None,
         compressed: bool = False,
+        compression_table: TabulatedEmbeddingSet | None = None,
         environment: LocalEnvironment | None = None,
         workspace=None,
     ) -> ModelOutput:
@@ -206,10 +225,17 @@ class DeepPotential:
         ``workspace`` (a :class:`repro.md.workspace.Workspace`) reuses the
         per-atom/force/virial output buffers across calls — the arithmetic is
         unchanged (buffers are zero-filled), only the allocations go away.
+        ``compression_table`` lets a caller that owns a specific table (the
+        compressed pair style) evaluate with it; by default the model's
+        active cached table is used.
         """
         policy = get_policy(precision)
         backend = backend or GemmBackend()
-        env = environment if environment is not None else self.build_environment(atoms, box, neighbors)
+        env = (
+            environment
+            if environment is not None
+            else self.build_environment(atoms, box, neighbors, workspace=workspace)
+        )
         n = env.n_atoms
         if workspace is not None:
             per_atom = workspace.zeros("dp.per_atom", n)
@@ -224,7 +250,16 @@ class DeepPotential:
             idx = np.nonzero(env.types == ti)[0]
             if len(idx) == 0:
                 continue
-            energies_t, g_d, sub = self._per_type_fast(env, ti, idx, policy, backend, compressed)
+            energies_t, g_d, sub = self._per_type_fast(
+                env,
+                ti,
+                idx,
+                policy,
+                backend,
+                compressed,
+                compression_table=compression_table,
+                workspace=workspace,
+            )
             per_atom[idx] = energies_t
             self._scatter_forces(forces, idx, sub, g_d)
             virial -= np.einsum("bni,bnj->ij", sub.displacements, g_d)
@@ -246,6 +281,8 @@ class DeepPotential:
         policy: PrecisionPolicy,
         backend: GemmBackend,
         compressed: bool,
+        compression_table: TabulatedEmbeddingSet | None = None,
+        workspace=None,
     ):
         """Per-atom energies and per-neighbour displacement gradients for one type."""
         sub = env.select(atom_indices)
@@ -256,32 +293,57 @@ class DeepPotential:
         fit_dtypes = policy.fitting_dtypes(len(self.config.fitting_sizes) + 1)
 
         fast_emb = self.fast_embeddings()
-        table = self.compressed_embeddings() if compressed else None
+        table = None
+        if compressed:
+            table = compression_table or self.active_compressed_embeddings()
 
         # --- embedding features G and the bookkeeping needed for the backward
-        g = np.zeros((batch, n_nei, m_width))
-        dg_ds_table = np.zeros((batch, n_nei, m_width)) if compressed else None
+        g_shape = (batch, n_nei, m_width)
         group_cache: dict[int, tuple[np.ndarray, object]] = {}
-        for tj in np.unique(sub.neighbor_types):
-            if tj < 0:
-                continue
-            tj = int(tj)
-            sel = sub.neighbor_types == tj
-            s_sel = sub.s[sel]
-            if compressed:
-                g_sel, dg_sel = table.evaluate((center_type, tj), s_sel)
-                g[sel] = g_sel
-                dg_ds_table[sel] = dg_sel
+        if compressed:
+            # batched multi-table interpolation: every real neighbour of the
+            # batch in one gather + Hermite kernel, keyed by its table slot;
+            # padded slots are never evaluated (their G rows stay exactly
+            # zero, as the per-type loop left them)
+            valid = sub.neighbor_types >= 0
+            slots = table.slot_index(center_type, sub.neighbor_types[valid])
+            s_valid = sub.s[valid]
+            nv = len(s_valid)
+            if workspace is not None:
+                g = workspace.buffer(f"dp.emb.g.{center_type}", g_shape)
+                g_valid = workspace.capacity(f"dp.emb.vals.{center_type}", nv, trailing=(m_width,))
+                dg_valid = workspace.capacity(f"dp.emb.ders.{center_type}", nv, trailing=(m_width,))
+                table.evaluate_batched(
+                    slots, s_valid, out_values=g_valid, out_derivatives=dg_valid
+                )
             else:
+                g = np.empty(g_shape)
+                g_valid, dg_valid = table.evaluate_batched(slots, s_valid)
+            # dG/ds stays compact: only G must be dense for the descriptor
+            # contraction (padded rows exactly zero, as the loop left them)
+            g[~valid] = 0.0
+            g[valid] = g_valid
+        else:
+            valid = dg_valid = None
+            if workspace is not None:
+                g = workspace.zeros(f"dp.emb.g.{center_type}", g_shape)
+            else:
+                g = np.zeros(g_shape)
+            for tj in np.unique(sub.neighbor_types):
+                if tj < 0:
+                    continue
+                tj = int(tj)
+                sel = sub.neighbor_types == tj
+                s_sel = sub.s[sel]
                 net = fast_emb[(center_type, tj)]
                 g_sel = net.forward(s_sel[:, None], backend=backend, dtypes=emb_dtypes, cache=True)
                 g[sel] = g_sel
                 group_cache[tj] = (sel, net._cache)
 
-        # --- descriptor
-        a = np.einsum("bnk,bnm->bkm", sub.R, g) / n_nei  # (B, 4, M)
+        # --- descriptor (batched matmuls: BLAS-backed, unlike c_einsum)
+        a = np.matmul(sub.R.transpose(0, 2, 1), g) / n_nei  # (B, 4, M)
         a_axis = a[:, :, :m2]
-        d = np.einsum("bkm,bkq->bmq", a, a_axis)  # (B, M, M2)
+        d = np.matmul(a.transpose(0, 2, 1), a_axis)  # (B, M, M2)
         d_flat = d.reshape(batch, m_width * m2)
         mean = self.descriptor_mean[center_type]
         std = self.descriptor_std[center_type]
@@ -291,23 +353,35 @@ class DeepPotential:
         fit_net = self.fast_fittings()[center_type]
         energies = fit_net.forward(d_std, backend=backend, dtypes=fit_dtypes, cache=True)
         energies = energies.reshape(batch) + self.energy_bias[center_type]
-        grad_dstd = fit_net.backward_input(
-            np.ones((batch, 1)), backend=backend, dtypes=fit_dtypes
-        )
+        if workspace is not None:
+            ones = workspace.buffer(f"dp.fit.ones.{center_type}", (batch, 1))
+            ones.fill(1.0)
+        else:
+            ones = np.ones((batch, 1))
+        grad_dstd = fit_net.backward_input(ones, backend=backend, dtypes=fit_dtypes)
         grad_dflat = grad_dstd / std
         grad_d = grad_dflat.reshape(batch, m_width, m2)
 
         # --- descriptor backward: dE/dA, dE/dR, dE/dG
-        grad_a = np.einsum("bkq,bmq->bkm", a_axis, grad_d)
-        grad_a[:, :, :m2] += np.einsum("bkm,bmq->bkq", a, grad_d)
-        grad_r = np.einsum("bnm,bkm->bnk", g, grad_a) / n_nei  # (B, N, 4)
-        grad_g = np.einsum("bnk,bkm->bnm", sub.R, grad_a) / n_nei  # (B, N, M)
+        grad_a = np.matmul(a_axis, grad_d.transpose(0, 2, 1))  # (B, 4, M)
+        grad_a[:, :, :m2] += np.matmul(a, grad_d)  # (B, 4, M2)
+        grad_r = np.matmul(g, grad_a.transpose(0, 2, 1)) / n_nei  # (B, N, 4)
+        grad_g = np.matmul(sub.R, grad_a) / n_nei  # (B, N, M)
 
         # --- embedding backward: dE/ds from the G path
-        grad_s_embed = np.zeros((batch, n_nei))
         if compressed:
-            grad_s_embed = np.einsum("bnm,bnm->bn", grad_g, dg_ds_table)
+            # contract against the compact dG/ds rows: padded slots contribute
+            # exactly zero, so only the valid rows need the dot product
+            if workspace is not None:
+                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei))
+            else:
+                grad_s_embed = np.zeros((batch, n_nei))
+            grad_s_embed[valid] = np.einsum("nm,nm->n", grad_g[valid], dg_valid)
         else:
+            if workspace is not None:
+                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei))
+            else:
+                grad_s_embed = np.zeros((batch, n_nei))
             for tj, (sel, cache) in group_cache.items():
                 net = fast_emb[(center_type, tj)]
                 net._cache = cache

@@ -34,7 +34,8 @@ def _activation(name: str):
             lambda y: 1.0 - np.exp(-y),
         )
     if name == "linear":
-        return lambda x: x, lambda y: np.ones_like(y)
+        # scalar derivative: broadcasting keeps the VJP allocation-free
+        return lambda x: x, lambda y: 1.0
     raise ValueError(f"unknown activation {name!r}")
 
 
@@ -139,7 +140,7 @@ class FastMLP:
             entry = self._cache[li]
             dtype = np.float64 if dtypes is None else dtypes[min(li, len(dtypes) - 1)]
             _, act_deriv = _activation(layer.activation)
-            grad_resnet = np.zeros_like(entry["input"])
+            grad_resnet = None
             if layer.resnet:
                 if layer.weight.shape[1] == layer.weight.shape[0]:
                     grad_resnet = grad
@@ -159,7 +160,8 @@ class FastMLP:
                 grad = backend.matmul(grad_pre, layer.weight_t, dtype=dtype)
             else:
                 grad = backend.matmul(grad_pre, layer.weight, dtype=dtype, transposed_b=True)
-            grad = grad + grad_resnet
+            if grad_resnet is not None:
+                grad = grad + grad_resnet
         return grad
 
     # -- convenience -------------------------------------------------------------

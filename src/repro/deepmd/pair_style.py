@@ -34,6 +34,8 @@ class DeepPotentialForceField(ForceField):
         precision=DOUBLE,
         gemm_backend: GemmBackend | None = None,
         compressed: bool = False,
+        compression_points: int = 2048,
+        compression_min_distance: float = 0.5,
         use_framework: bool = False,
         use_scalar_reference: bool = False,
         session: Session | None = None,
@@ -44,11 +46,36 @@ class DeepPotentialForceField(ForceField):
         self.precision = get_policy(precision)
         self.backend = gemm_backend or GemmBackend()
         self.compressed = bool(compressed)
+        self.compression_points = int(compression_points)
+        self.compression_min_distance = float(compression_min_distance)
         self.use_framework = bool(use_framework)
         self.use_scalar_reference = bool(use_scalar_reference)
         self.session = session or Session()
         self.cutoff = model.config.cutoff
         self.n_evaluations = 0
+        self._table = None
+        self._table_generation = None
+        if self.compressed and not self.use_scalar_reference and not self.use_framework:
+            # build the tables eagerly so the first MD step pays no tabulation
+            # cost and the grid parameters are fixed by this pair style
+            self._compression_table()
+
+    def _compression_table(self):
+        """This pair style's own table at its configured grid.
+
+        Held by reference so other consumers of the shared model cannot swap
+        the grid underneath a running force field (and so two pair styles
+        with different grids never trigger a per-step rebuild storm through
+        the model's single cache slot); rebuilt only when
+        :meth:`DeepPotential.invalidate_kernels` bumps the kernel generation.
+        """
+        if self._table is None or self._table_generation != self.model.kernel_generation:
+            self._table = self.model.compressed_embeddings(
+                n_points=self.compression_points,
+                min_distance=self.compression_min_distance,
+            )
+            self._table_generation = self.model.kernel_generation
+        return self._table
 
     @property
     def path(self) -> str:
@@ -75,6 +102,7 @@ class DeepPotentialForceField(ForceField):
                 precision=self.precision,
                 backend=self.backend,
                 compressed=self.compressed,
+                compression_table=self._compression_table() if self.compressed else None,
                 workspace=workspace,
             )
         return ForceResult(
@@ -92,11 +120,14 @@ class DeepPotentialForceField(ForceField):
         reports what actually executes.
         """
         scalar = self.use_scalar_reference
+        compressed = False if scalar else self.compressed
         return {
             "path": self.path,
             "precision": "double" if scalar else self.precision.name,
             "gemm": "numpy-loop" if scalar else self.backend.kind,
-            "compressed": False if scalar else self.compressed,
+            "compressed": compressed,
+            "compression_points": self.compression_points if compressed else None,
+            "compression_min_distance": self.compression_min_distance if compressed else None,
             "framework": self.use_framework,
             "cutoff": self.cutoff,
             "n_parameters": self.model.n_parameters(),

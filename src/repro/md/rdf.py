@@ -15,6 +15,7 @@ import numpy as np
 
 from .atoms import Atoms
 from .box import Box
+from .neighbor import BRUTE_FORCE_THRESHOLD, _brute_force_pairs, _cell_list_pairs
 
 
 @dataclass
@@ -33,7 +34,16 @@ class RDFResult:
         return float(self.r[idx]), float(self.g[idx])
 
 
-def _pair_distances(positions_a: np.ndarray, positions_b: np.ndarray, box: Box, same: bool) -> np.ndarray:
+def _pair_distances_dense(
+    positions_a: np.ndarray, positions_b: np.ndarray, box: Box, same: bool
+) -> np.ndarray:
+    """Golden O(N^2)-memory reference: the dense displacement tensor.
+
+    Materializes the full ``(N_a, N_b, 3)`` tensor, which falls over at
+    production sizes — kept un-optimized purely as the reference the binned
+    :func:`_pair_distances` is parity-pinned against
+    (``tests/test_md_dynamics.py``).  Do not use on large systems.
+    """
     delta = positions_a[:, None, :] - positions_b[None, :, :]
     delta = box.minimum_image(delta)
     dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
@@ -41,6 +51,43 @@ def _pair_distances(positions_a: np.ndarray, positions_b: np.ndarray, box: Box, 
         iu, ju = np.triu_indices(len(positions_a), k=1)
         return dist[iu, ju]
     return dist.ravel()
+
+
+def _pairs_within(positions: np.ndarray, box: Box, r_max: float) -> tuple[np.ndarray, np.ndarray]:
+    """All i<j pairs within ``r_max``, via the vectorized binned search."""
+    if len(positions) <= BRUTE_FORCE_THRESHOLD:
+        return _brute_force_pairs(positions, box, r_max)
+    return _cell_list_pairs(positions, box, r_max)
+
+
+def _pair_distances(
+    positions_a: np.ndarray,
+    positions_b: np.ndarray,
+    box: Box,
+    same: bool,
+    r_max: float,
+) -> np.ndarray:
+    """Distances of every unordered A-B pair within ``r_max``.
+
+    Memory scales with the pair count inside ``r_max``, not N^2: pair finding
+    runs through the binned neighbour search (``md.neighbor._cell_list_pairs``)
+    — cross-species pairs are filtered from a search over the stacked
+    positions.  Each surviving distance is computed with exactly the
+    arithmetic of the dense reference, so histograms agree bin-for-bin.
+    """
+    if same:
+        pi, pj = _pairs_within(positions_a, box, r_max)
+        delta = positions_a[pi] - positions_a[pj]
+    else:
+        stacked = np.concatenate([positions_a, positions_b], axis=0)
+        pi, pj = _pairs_within(stacked, box, r_max)
+        n_a = len(positions_a)
+        cross = (pi < n_a) != (pj < n_a)
+        pi, pj = pi[cross], pj[cross]
+        # i<j ordering puts the A member first, matching a[i] - b[j]
+        delta = stacked[pi] - stacked[pj]
+    delta = box.minimum_image(delta)
+    return np.sqrt(np.einsum("ij,ij->i", delta, delta))
 
 
 def partial_rdf(
@@ -65,7 +112,7 @@ def partial_rdf(
         return RDFResult(centers, np.zeros(n_bins), (type_a, type_b))
 
     same = type_a == type_b
-    distances = _pair_distances(pos_a, pos_b, box, same)
+    distances = _pair_distances(pos_a, pos_b, box, same, r_max)
     distances = distances[distances > 1.0e-9]
     hist, _ = np.histogram(distances, bins=edges)
     hist = hist.astype(np.float64)

@@ -83,9 +83,29 @@ class KernelCostModel:
 
         environment = 12.0 * n  # distances, switching function, R rows
         if compressed:
-            # cubic Hermite interpolation: ~10 flops per output component
-            embedding_fwd = 10.0 * m * n
-            embedding_bwd = 6.0 * m * n
+            # batched cubic-Hermite table kernel: counts reconciled with the
+            # real implementation (the constants live next to the kernel in
+            # repro.deepmd.compression; a cross-module test pins the match).
+            # Imported lazily so the perf model stays usable standalone.
+            from ..deepmd.compression import (
+                EMBEDDING_GRAD_DOT_FLOPS_PER_COMPONENT,
+                HERMITE_DERIVATIVE_FLOPS_PER_COMPONENT,
+                HERMITE_DERIVATIVE_FLOPS_PER_NEIGHBOR,
+                HERMITE_VALUE_FLOPS_PER_COMPONENT,
+                HERMITE_VALUE_FLOPS_PER_NEIGHBOR,
+            )
+
+            embedding_fwd = (
+                HERMITE_VALUE_FLOPS_PER_COMPONENT * m + HERMITE_VALUE_FLOPS_PER_NEIGHBOR
+            ) * n
+            embedding_bwd = (
+                (
+                    HERMITE_DERIVATIVE_FLOPS_PER_COMPONENT
+                    + EMBEDDING_GRAD_DOT_FLOPS_PER_COMPONENT
+                )
+                * m
+                + HERMITE_DERIVATIVE_FLOPS_PER_NEIGHBOR
+            ) * n
         else:
             per_neighbor = _mlp_flops((1, *self.embedding_sizes))
             embedding_fwd = per_neighbor * n

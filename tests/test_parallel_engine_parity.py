@@ -54,7 +54,7 @@ def _water_setup():
     return atoms, box, force_field, params
 
 
-def _copper_dp_setup():
+def _copper_dp_setup(compressed=False):
     """A 108-atom FCC copper cell driven by a tiny Deep Potential."""
     config = DeepPotentialConfig(
         type_names=("Cu",),
@@ -75,7 +75,7 @@ def _copper_dp_setup():
     model.set_energy_bias(np.array([-1.0]))
     atoms, box = copper_system((3, 3, 3), perturbation=0.05, rng=6)
     atoms.initialize_velocities(300.0, rng=7)
-    force_field = lambda: DeepPotentialForceField(model)  # noqa: E731
+    force_field = lambda: DeepPotentialForceField(model, compressed=compressed)  # noqa: E731
     params = dict(timestep_fs=0.5, neighbor_skin=0.4, neighbor_every=5)
     return atoms, box, force_field, params
 
@@ -107,6 +107,12 @@ def water_case():
 @pytest.fixture(scope="module")
 def copper_dp_case():
     atoms, box, force_field, params = _copper_dp_setup()
+    return atoms, box, force_field, params, _serial_reference(atoms, box, force_field, params)
+
+
+@pytest.fixture(scope="module")
+def compressed_copper_dp_case():
+    atoms, box, force_field, params = _copper_dp_setup(compressed=True)
     return atoms, box, force_field, params, _serial_reference(atoms, box, force_field, params)
 
 
@@ -160,6 +166,20 @@ class TestTrajectoryParityCopperDeepPotential:
     @pytest.mark.parametrize("rank_dims", DECOMPOSITIONS)
     def test_copper_dp_matches_serial(self, copper_dp_case, rank_dims, scheme):
         _assert_engine_matches(copper_dp_case, rank_dims, scheme)
+
+
+class TestTrajectoryParityCompressedDeepPotential:
+    """compressed=True runs the batched multi-table interpolation on every
+    rank (masked ghost rows, per-rank workspaces); it must stay in lockstep
+    with the serial compressed trajectory exactly like the exact path."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("rank_dims", [(2, 1, 1), (2, 2, 2)])
+    def test_compressed_copper_dp_matches_serial(
+        self, compressed_copper_dp_case, rank_dims, scheme
+    ):
+        engine = _assert_engine_matches(compressed_copper_dp_case, rank_dims, scheme)
+        assert engine.force_field.describe()["compressed"] is True
 
 
 # ---------------------------------------------------------------------------

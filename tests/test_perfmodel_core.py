@@ -47,6 +47,34 @@ class TestKernelCostModel:
         full = model.per_atom_flops(compressed=False)
         assert compressed.embedding_forward < full.embedding_forward
 
+    def test_compressed_flops_reconciled_with_real_kernel(self):
+        """The priced Hermite op counts are the real batched kernel's
+        constants (repro.deepmd.compression), not an independent guess."""
+        from repro.deepmd.compression import (
+            EMBEDDING_GRAD_DOT_FLOPS_PER_COMPONENT,
+            HERMITE_DERIVATIVE_FLOPS_PER_COMPONENT,
+            HERMITE_DERIVATIVE_FLOPS_PER_NEIGHBOR,
+            HERMITE_VALUE_FLOPS_PER_COMPONENT,
+            HERMITE_VALUE_FLOPS_PER_NEIGHBOR,
+        )
+
+        model = KernelCostModel(neighbors_per_atom=512)
+        flops = model.per_atom_flops(compressed=True)
+        n, m = model.neighbors_per_atom, model.m_width
+        assert flops.embedding_forward == pytest.approx(
+            (HERMITE_VALUE_FLOPS_PER_COMPONENT * m + HERMITE_VALUE_FLOPS_PER_NEIGHBOR) * n
+        )
+        assert flops.embedding_backward == pytest.approx(
+            (
+                (HERMITE_DERIVATIVE_FLOPS_PER_COMPONENT + EMBEDDING_GRAD_DOT_FLOPS_PER_COMPONENT) * m
+                + HERMITE_DERIVATIVE_FLOPS_PER_NEIGHBOR
+            )
+            * n
+        )
+        # the 4-term cubic Hermite combination: 4 multiplies + 3 adds
+        assert HERMITE_VALUE_FLOPS_PER_COMPONENT == 7.0
+        assert HERMITE_DERIVATIVE_FLOPS_PER_COMPONENT == 7.0
+
     def test_optimization_ladder_monotonic_per_atom_time(self):
         model = KernelCostModel(neighbors_per_atom=512)
         baseline = model.per_atom_time(1, backend="blas", precision="double", pretranspose=False, framework=True)
