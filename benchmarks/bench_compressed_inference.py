@@ -27,6 +27,8 @@ import time
 
 import numpy as np
 
+import pytest
+
 from repro.deepmd import DeepPotential, DeepPotentialConfig
 from repro.deepmd.pair_style import DeepPotentialForceField
 from repro.md import Simulation, water_system
@@ -108,9 +110,9 @@ def _benchmark_model(seed: int = 7):
     return model, atoms, box
 
 
-def _dp_simulation(model, atoms, box, compressed: bool) -> Simulation:
+def _dp_simulation(model, atoms, box, compressed: bool, precision: str = "double") -> Simulation:
     force_field = DeepPotentialForceField(
-        model, compressed=compressed, compression_points=N_POINTS
+        model, precision=precision, compressed=compressed, compression_points=N_POINTS
     )
     sim_atoms = atoms.copy()
     sim_atoms.initialize_velocities(120.0, rng=3)
@@ -171,13 +173,23 @@ def test_bench_compressed_speedup_and_parity():
     )
 
 
-def test_compressed_steady_state_allocation_budget():
-    """A compressed MD step runs out of the workspace pool, not the allocator."""
+@pytest.mark.parametrize("precision", ["double", "mix-fp32"])
+def test_compressed_steady_state_allocation_budget(precision):
+    """A compressed MD step runs out of the workspace pool, not the allocator.
+
+    The ``mix-fp32`` case guards the mixed-precision fast path: the
+    pre-cast parameter/table copies must be reused (no per-call ``astype``
+    churn), so a steady-state mixed step stays within the same budget as
+    the double path — and the GEMM layer itself must not be the one
+    downcasting (``cast_bytes`` stays flat across the window).
+    """
     model, atoms, box = _benchmark_model(seed=8)
-    sim = _dp_simulation(model, atoms, box, compressed=True)
+    sim = _dp_simulation(model, atoms, box, compressed=True, precision=precision)
     sim.neighbor_list.rebuild_every = 0  # rebuilds only on the skin criterion
     sim.run(3)  # fills every pool (envmat, embedding, fitting, integrator)
     builds_before = sim.neighbor_list.n_builds
+    backend = sim.force_field.backend
+    cast_before = backend.stats.cast_bytes
     n_steps = 3
     with _AllocationCounter() as counter:
         sim.run(n_steps, sample_every=1)
@@ -185,7 +197,11 @@ def test_compressed_steady_state_allocation_budget():
         "a neighbour rebuild landed in the measurement window; "
         "the budget only applies to steady-state steps"
     )
+    assert backend.stats.cast_bytes == cast_before, (
+        "GemmBackend.matmul downcast an operand per call in steady state "
+        "(the pre-cast weight/activation fast path regressed)"
+    )
     per_step = counter.count / n_steps
-    print(f"\nexplicit allocations per steady-state compressed step: {per_step:.2f} "
-          f"(budget {ALLOCATION_BUDGET})")
+    print(f"\nexplicit allocations per steady-state compressed {precision} step: "
+          f"{per_step:.2f} (budget {ALLOCATION_BUDGET})")
     assert per_step <= ALLOCATION_BUDGET

@@ -145,10 +145,49 @@ def _water_simulation() -> Simulation:
     )
 
 
+def _dp_mixed_simulation() -> Simulation:
+    """A compressed MIX-fp32 Deep Potential run: the mixed-precision fast
+    path must hold the same steady-state budget as the double path (the
+    per-call ``astype`` weight churn this guards against predates the cached
+    low-precision operands)."""
+    from repro.deepmd import DeepPotential, DeepPotentialConfig
+    from repro.deepmd.pair_style import DeepPotentialForceField
+
+    atoms, box, _ = water_system(64, rng=6, jitter=0.1)
+    config = DeepPotentialConfig(
+        type_names=("O", "H"),
+        cutoff=4.0,
+        cutoff_smooth=3.0,
+        embedding_sizes=(8, 16),
+        axis_neurons=4,
+        fitting_sizes=(16, 16),
+        max_neighbors=48,
+        seed=6,
+    )
+    model = DeepPotential(config)
+    rng = np.random.default_rng(6)
+    model.set_descriptor_stats(
+        rng.normal(scale=0.1, size=(2, config.descriptor_dim)),
+        0.5 + rng.random((2, config.descriptor_dim)),
+    )
+    model.set_energy_bias(np.array([-2.0, -0.5]))
+    atoms.initialize_velocities(120.0, rng=7)
+    return Simulation(
+        atoms,
+        box,
+        DeepPotentialForceField(
+            model, precision="mix-fp32", compressed=True, compression_points=256
+        ),
+        timestep_fs=0.25,
+        neighbor_skin=1.5,
+        neighbor_every=50,
+    )
+
+
 @pytest.mark.parametrize(
     "make_sim",
-    [lambda: _lj_simulation(use_workspace=True), _water_simulation],
-    ids=["lj", "water"],
+    [lambda: _lj_simulation(use_workspace=True), _water_simulation, _dp_mixed_simulation],
+    ids=["lj", "water", "dp-mix-fp32"],
 )
 def test_steady_state_allocation_budget(make_sim):
     """Steady-state steps run out of the workspace pool, not the allocator."""

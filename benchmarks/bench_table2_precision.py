@@ -1,6 +1,102 @@
-"""Table II — energy and force error of one time-step under mixed precision."""
+"""Table II — accuracy *and* speed of one time-step under mixed precision.
+
+Two guards:
+
+* **accuracy** — the trained-model energy/force errors under MIX-fp32 /
+  MIX-fp16 stay at the paper's Table II relations to the double baseline
+  (``test_table2_precision``);
+* **steps/sec** — MIX-fp32 must be a real fast path, not an accuracy
+  simulation: >= 1.5x the double-precision steps/sec on a ~4k-atom
+  compressed water Deep Potential MD run (~1.7x measured on this
+  container).  Before the mixed-precision fast path landed this ratio was
+  ~1.0x — the policy only changed what the FLOPs were *accounted* as.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_table2_precision.py
+"""
+
+import time
+
+import numpy as np
 
 from repro.core.experiments import table2_precision
+from repro.deepmd import DeepPotential, DeepPotentialConfig
+from repro.deepmd.pair_style import DeepPotentialForceField
+from repro.md import Simulation, water_system
+
+#: Minimum accepted MIX-fp32 over double steps/sec ratio at ~4k atoms.
+SPEEDUP_TARGET = 1.5
+#: ~4k atoms (1333 water molecules): the scale the acceptance criterion names.
+N_MOLECULES = 1333
+#: Table resolution of the speed runs (same grid as the compression bench).
+N_POINTS = 512
+
+
+def _benchmark_model(seed: int = 7):
+    """The embedding-heavy ~4k-atom water setup of the compression bench."""
+    atoms, box, _ = water_system(N_MOLECULES, rng=seed)
+    config = DeepPotentialConfig(
+        type_names=("O", "H"),
+        cutoff=6.0,
+        cutoff_smooth=5.0,
+        embedding_sizes=(32, 64, 128),
+        axis_neurons=8,
+        fitting_sizes=(32, 32),
+        max_neighbors=100,
+        seed=seed,
+    )
+    model = DeepPotential(config)
+    rng = np.random.default_rng(seed)
+    model.set_descriptor_stats(
+        rng.normal(scale=0.1, size=(2, config.descriptor_dim)),
+        0.5 + rng.random((2, config.descriptor_dim)),
+    )
+    model.set_energy_bias(np.array([-2.0, -0.5]))
+    return model, atoms, box
+
+
+def _dp_simulation(model, atoms, box, precision: str) -> Simulation:
+    force_field = DeepPotentialForceField(
+        model, precision=precision, compressed=True, compression_points=N_POINTS
+    )
+    sim_atoms = atoms.copy()
+    sim_atoms.initialize_velocities(120.0, rng=3)
+    return Simulation(
+        sim_atoms,
+        box,
+        force_field,
+        timestep_fs=0.25,
+        neighbor_skin=1.5,
+        neighbor_every=50,
+    )
+
+
+def _best_steps_per_second(sim: Simulation, n_steps: int = 3, repeats: int = 2) -> float:
+    sim.run(1, sample_every=0)  # warm up: kernels, tables and pools built
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim.run(n_steps, sample_every=1)
+        best = max(best, n_steps / (time.perf_counter() - start))
+    return best
+
+
+def test_mix_fp32_speedup_guard():
+    """MIX-fp32 >= 1.5x double steps/sec on ~4k-atom compressed water MD."""
+    model, atoms, box = _benchmark_model()
+    slow = _best_steps_per_second(_dp_simulation(model, atoms, box, "double"))
+    fast = _best_steps_per_second(_dp_simulation(model, atoms, box, "mix-fp32"))
+    speedup = fast / slow
+    print()
+    print(f"Mixed-precision Deep Potential MD ({len(atoms)} atoms, water, compressed)")
+    print(f"  double   : {slow:8.3f} steps/s")
+    print(f"  mix-fp32 : {fast:8.3f} steps/s")
+    print(f"  speedup  : {speedup:8.2f}x (target >= {SPEEDUP_TARGET}x)")
+    assert speedup >= SPEEDUP_TARGET, (
+        f"MIX-fp32 only {speedup:.2f}x over double at {len(atoms)} atoms "
+        f"(expected >= {SPEEDUP_TARGET}x)"
+    )
 
 
 def test_table2_precision(benchmark, trained_water_model):

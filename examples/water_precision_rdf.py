@@ -40,7 +40,17 @@ def main() -> None:
         print(f"  {precision:9s} {formatted}")
     errors = fig6_overlap_errors(curves)
     print("  overlap error vs double precision:", {k: round(v, 4) for k, v in errors.items()})
-    print("  -> the three precision curves overlap (the paper's Fig. 6 conclusion)")
+    # At this toy scale (an under-trained model, 20 trajectory frames) the
+    # curves are statistics-limited; the paper's Fig. 6 overlap claim is
+    # pinned with proper tolerances in tests/test_mixed_precision.py.
+    worst = max(errors.values())
+    if worst < 0.15:
+        print("  -> the three precision curves overlap (the paper's Fig. 6 conclusion)")
+    else:
+        print(
+            f"  -> worst overlap error {worst:.2f}: sampling noise dominates at "
+            "example scale; see tests/test_mixed_precision.py for the pinned claim"
+        )
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .gemm import _dtype_name
 from .networks import FastMLP
 
 #: FLOP counts of the batched Hermite kernel, reconciled with
@@ -170,15 +171,50 @@ class TabulatedEmbeddingSet:
         # read-only overlapping window view: row i is the (2, 2M) node pair
         # [i, i+1], so one fancy-index gathers all four Hermite operands
         # [y0 | h*d0 | y1 | h*d1] of every element at once
-        stride_row, stride_col = self._packed.strides
-        self._node_windows = np.lib.stride_tricks.as_strided(
-            self._packed,
-            shape=(self._packed.shape[0] - 1, 2, 2 * m),
+        self._node_windows = self._windows_over(self._packed)
+        self._grid = grid
+        self._h = h
+        #: reduced-precision copies of the packed node array (plus their
+        #: window views), built once per dtype by :meth:`ensure_packed` —
+        #: the mixed-precision production path reads fp32 nodes, halving the
+        #: gather bandwidth of every interpolation
+        self._packed_lp: dict[np.dtype, tuple[np.ndarray, np.ndarray]] = {}
+        #: :meth:`evaluate_batched` invocations per compute dtype — the
+        #: regression probe that proves the table path honours the precision
+        #: policy instead of silently running fp64
+        self.eval_dtype_counts: dict[str, int] = {}
+
+    @staticmethod
+    def _windows_over(packed: np.ndarray) -> np.ndarray:
+        stride_row, stride_col = packed.strides
+        return np.lib.stride_tricks.as_strided(
+            packed,
+            shape=(packed.shape[0] - 1, 2, packed.shape[1]),
             strides=(stride_row, stride_row, stride_col),
             writeable=False,
         )
-        self._grid = grid
-        self._h = h
+
+    def ensure_packed(self, dtype) -> np.ndarray:
+        """The packed node array at ``dtype``, cast once and cached.
+
+        float64 returns the master table.  Lower precisions round the node
+        values/derivatives a single time at build; every subsequent batched
+        evaluation gathers directly from the reduced copy (no per-call
+        downcast, half the memory traffic for fp32).
+        """
+        dt = np.dtype(dtype)
+        if dt == np.dtype(np.float64):
+            return self._packed
+        entry = self._packed_lp.get(dt)
+        if entry is None:
+            packed = self._packed.astype(dt)
+            entry = (packed, self._windows_over(packed))
+            self._packed_lp[dt] = entry
+        return entry[0]
+
+    def packed_dtypes(self) -> tuple[str, ...]:
+        """Dtypes for which a packed node array exists (probe for tests)."""
+        return ("fp64",) + tuple(sorted(_dtype_name(dt) for dt in self._packed_lp))
 
     @property
     def width(self) -> int:
@@ -208,6 +244,7 @@ class TabulatedEmbeddingSet:
         s: np.ndarray,
         out_values: np.ndarray | None = None,
         out_derivatives: np.ndarray | None = None,
+        dtype=np.float64,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Interpolated ``(G, dG/ds)`` where element ``i`` reads table ``slots[i]``.
 
@@ -218,6 +255,15 @@ class TabulatedEmbeddingSet:
         ``[0, s_max]`` the value clamps to the end node and the derivative is
         zero, matching :meth:`evaluate`.
 
+        ``dtype`` is the compute precision of the interpolation
+        (:attr:`PrecisionPolicy.compute_dtype` on the production path):
+        float64 reads the master table and is the golden-pinned reference;
+        lower precisions gather from the once-cast reduced node array of
+        :meth:`ensure_packed` and run the basis arithmetic and contractions
+        natively at that precision.  The node *placement* (grid index and the
+        out-of-range clamp) is always resolved in float64 so every precision
+        interpolates the same segment.
+
         One fancy-index over the window view gathers all four Hermite
         operands of a row block; the value/derivative combinations run as two
         ``einsum`` contractions against the (row, 4) basis weights — no
@@ -226,25 +272,37 @@ class TabulatedEmbeddingSet:
         :data:`HERMITE_CHUNK_ROWS` blocks so the gathered operands stay
         cache-resident between the gather and the contractions.
         """
+        dt = np.dtype(dtype)
+        name = _dtype_name(dt)
+        self.eval_dtype_counts[name] = self.eval_dtype_counts.get(name, 0) + 1
+        if dt == np.dtype(np.float64):
+            windows = self._node_windows
+        else:
+            self.ensure_packed(dt)
+            windows = self._packed_lp[dt][1]
         s_arr = np.asarray(s, dtype=np.float64)
         flat_s = s_arr.reshape(-1)
         flat_slots = np.asarray(slots, dtype=np.int64).reshape(-1)
         grid = self._grid
-        h = self._h
+        h = self._h if dt == np.dtype(np.float64) else dt.type(self._h)
         m = self.width
         n_flat = len(flat_s)
         clamped = np.clip(flat_s, grid[0], grid[-1])
-        idx = np.minimum((clamped - grid[0]) / h, len(grid) - 2).astype(int)
-        t_all = ((clamped - grid[idx]) / h)[:, None]
+        idx = np.minimum((clamped - grid[0]) / self._h, len(grid) - 2).astype(int)
+        t_all = ((clamped - grid[idx]) / self._h)[:, None]
+        if dt != np.dtype(np.float64):
+            t_all = t_all.astype(dt)
         base = flat_slots * len(grid) + idx
 
         if (out_values is None) != (out_derivatives is None):
             raise ValueError("out_values and out_derivatives must be provided together")
         shape = (*s_arr.shape, m)
         if out_values is None:
-            values = np.empty((n_flat, m))
-            derivs = np.empty((n_flat, m))
+            values = np.empty((n_flat, m), dtype=dt)
+            derivs = np.empty((n_flat, m), dtype=dt)
         else:
+            if out_values.dtype != dt or out_derivatives.dtype != dt:
+                raise ValueError(f"out buffers must match the compute dtype {dt}")
             values = out_values.reshape(n_flat, m)
             derivs = out_derivatives.reshape(n_flat, m)
             if not (
@@ -257,7 +315,7 @@ class TabulatedEmbeddingSet:
         for lo in range(0, n_flat, HERMITE_CHUNK_ROWS):
             hi = min(lo + HERMITE_CHUNK_ROWS, n_flat)
             # block gather: (rows, 4, M) operands [y0, h*d0, y1, h*d1]
-            nodes = self._node_windows[base[lo:hi]].reshape(hi - lo, 4, m)
+            nodes = windows[base[lo:hi]].reshape(hi - lo, 4, m)
             t = t_all[lo:hi]
             t2 = t * t
             t3 = t2 * t

@@ -92,6 +92,27 @@ class LocalEnvironment:
             cutoff_smooth=self.cutoff_smooth,
         )
 
+    def compute_arrays(self, dtype, workspace=None, key: str = "") -> tuple[np.ndarray, np.ndarray]:
+        """``(R, s)`` at the model's compute dtype.
+
+        The environment matrix is always *built* in float64 (the invariant the
+        precision policies document); the mixed-precision kernels read these
+        once-downcast copies instead.  float64 returns the original arrays —
+        no copy, so the golden path is untouched.  With a ``workspace`` the
+        reduced copies live in named pool buffers (``env.cast.R/s.<key>``) and
+        steady-state steps re-fill them without allocating.
+        """
+        dt = np.dtype(dtype)
+        if dt == self.R.dtype:
+            return self.R, self.s
+        if workspace is not None:
+            r_c = workspace.buffer(f"env.cast.R.{key}", self.R.shape, dtype=dt)
+            s_c = workspace.buffer(f"env.cast.s.{key}", self.s.shape, dtype=dt)
+            np.copyto(r_c, self.R)
+            np.copyto(s_c, self.s)
+            return r_c, s_c
+        return self.R.astype(dt), self.s.astype(dt)
+
 
 def build_local_environment(
     atoms: Atoms,

@@ -46,6 +46,12 @@ class GemmStats:
     sve_calls: int = 0
     blas_calls: int = 0
     tall_skinny_calls: int = 0
+    #: bytes of operand data down/up-cast *inside* :meth:`GemmBackend.matmul`
+    #: because an operand arrived in a dtype other than the compute dtype.
+    #: The true mixed-precision fast path pre-casts its parameter matrices
+    #: once (see :meth:`repro.deepmd.networks.FastMLP.operands`), so in steady
+    #: state this counts only activation casts — the regression tests pin it.
+    cast_bytes: float = 0.0
 
     def record(self, m: int, n: int, k: int, dtype: str, transposed_b: bool, used_sve: bool) -> None:
         flops = 2.0 * m * n * k
@@ -72,6 +78,7 @@ class GemmStats:
         self.sve_calls = 0
         self.blas_calls = 0
         self.tall_skinny_calls = 0
+        self.cast_bytes = 0.0
 
     def merge(self, other: "GemmStats") -> None:
         self.flops += other.flops
@@ -83,6 +90,7 @@ class GemmStats:
         self.sve_calls += other.sve_calls
         self.blas_calls += other.blas_calls
         self.tall_skinny_calls += other.tall_skinny_calls
+        self.cast_bytes += other.cast_bytes
 
 
 def _dtype_name(dtype) -> str:
@@ -143,13 +151,24 @@ class GemmBackend:
         b: np.ndarray,
         dtype=np.float64,
         transposed_b: bool = False,
+        native_out: bool = False,
     ) -> np.ndarray:
         """Compute ``a @ b`` (or ``a @ b.T`` when ``transposed_b``).
 
-        ``dtype`` is the compute precision: inputs are cast down, the product
-        is accumulated at that precision, and the result is returned in
-        float64 so downstream bookkeeping stays simple (the precision loss has
-        already happened, which is what matters for accuracy experiments).
+        ``dtype`` is the compute precision: inputs not already at that
+        precision are cast (the cast traffic is charged to
+        ``stats.cast_bytes``) and the product is accumulated at that
+        precision.  With ``native_out=True`` — the mixed-precision fast path —
+        the result stays in the compute dtype so low-precision activations
+        flow between layers without a round trip through float64; otherwise
+        the result is returned in float64 so downstream bookkeeping stays
+        simple (the precision loss has already happened, which is what
+        matters for accuracy experiments).
+
+        Callers on the hot path are expected to supply operands *already* in
+        the compute dtype (pre-cast parameter matrices, native activations);
+        the per-call ``astype`` here is a compatibility fallback, not the
+        production route.
         """
         a = np.asarray(a)
         b = np.asarray(b)
@@ -164,15 +183,22 @@ class GemmBackend:
         if k != k2:
             raise ValueError(f"inner dimensions mismatch: {a.shape} x {b_eff.shape}")
 
-        a_cast = a.astype(dtype, copy=False)
-        b_cast = b_eff.astype(dtype, copy=False)
+        dt = np.dtype(dtype)
+        if a.dtype != dt:
+            self.stats.cast_bytes += float(a.nbytes)
+        if b_eff.dtype != dt:
+            self.stats.cast_bytes += float(b_eff.nbytes)
+        a_cast = a.astype(dt, copy=False)
+        b_cast = b_eff.astype(dt, copy=False)
         use_sve = self.kind == "sve" and m <= self.sve_m_threshold
         if use_sve:
             out = _sve_like_matmul(a_cast, b_cast)
         else:
             out = a_cast @ b_cast
         self.stats.record(m, n, k, _dtype_name(dtype), transposed_b, use_sve)
-        return out.astype(np.float64)
+        if native_out:
+            return out
+        return out.astype(np.float64, copy=False)
 
     def reset_stats(self) -> None:
         self.stats.reset()

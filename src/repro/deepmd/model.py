@@ -114,6 +114,10 @@ class DeepPotential:
         self._fast_fittings = None
         self._compressed: TabulatedEmbeddingSet | None = None
         self._compressed_key: tuple[int, float] | None = None
+        #: once-cast low-precision descriptor mean/std per (type, dtype) —
+        #: rebuilt lazily after :meth:`set_descriptor_stats` or
+        #: :meth:`invalidate_kernels`
+        self._lp_standardization: dict[tuple[int, np.dtype], tuple[np.ndarray, np.ndarray]] = {}
         #: bumped by :meth:`invalidate_kernels`; consumers holding exported
         #: kernels or tables compare it to know theirs went stale
         self.kernel_generation = 0
@@ -135,6 +139,7 @@ class DeepPotential:
         self._fast_fittings = None
         self._compressed = None
         self._compressed_key = None
+        self._lp_standardization.clear()
         self.kernel_generation += 1
 
     def fast_embeddings(self):
@@ -184,6 +189,26 @@ class DeepPotential:
             raise ValueError("descriptor std must be positive")
         self.descriptor_mean = mean
         self.descriptor_std = std
+        self._lp_standardization.clear()
+
+    def _standardization(self, center_type: int, dtype) -> tuple[np.ndarray, np.ndarray]:
+        """Descriptor mean/std of one type at the compute dtype.
+
+        float64 returns the master arrays; lower precisions are cast once and
+        cached so the mixed-precision hot loop never re-casts them per step.
+        """
+        dt = np.dtype(dtype)
+        if dt == np.dtype(np.float64):
+            return self.descriptor_mean[center_type], self.descriptor_std[center_type]
+        key = (center_type, dt)
+        entry = self._lp_standardization.get(key)
+        if entry is None:
+            entry = (
+                self.descriptor_mean[center_type].astype(dt),
+                self.descriptor_std[center_type].astype(dt),
+            )
+            self._lp_standardization[key] = entry
+        return entry
 
     def set_energy_bias(self, bias: np.ndarray) -> None:
         bias = np.asarray(bias, dtype=np.float64)
@@ -284,13 +309,29 @@ class DeepPotential:
         compression_table: TabulatedEmbeddingSet | None = None,
         workspace=None,
     ):
-        """Per-atom energies and per-neighbour displacement gradients for one type."""
+        """Per-atom energies and per-neighbour displacement gradients for one type.
+
+        The compute precision between the (always-float64) environment matrix
+        and the (always-float64) per-atom energy/force/virial reductions is
+        :attr:`PrecisionPolicy.compute_dtype`: under the MIX policies the
+        environment-matrix operands are downcast once per step into workspace
+        buffers and the table interpolation / embedding nets, descriptor
+        contraction, fitting net and the whole backward chain run natively at
+        that precision.  The float64 policy takes the original (golden) code
+        path with the original arrays — bit-for-bit unchanged.
+        """
         sub = env.select(atom_indices)
         batch, n_nei = sub.s.shape
         m_width = self.embeddings.width
         m2 = self.config.axis_neurons
         emb_dtypes = policy.embedding_dtypes(len(self.config.embedding_sizes))
         fit_dtypes = policy.fitting_dtypes(len(self.config.fitting_sizes) + 1)
+        cd = np.dtype(policy.compute_dtype)
+        mixed = cd != np.dtype(np.float64)
+        # one downcast of the environment operands per step (into reused
+        # workspace buffers): everything downstream reads these natively;
+        # float64 gets the original arrays back, untouched
+        r_c, s_c = sub.compute_arrays(cd, workspace=workspace, key=str(center_type))
 
         fast_emb = self.fast_embeddings()
         table = None
@@ -307,18 +348,20 @@ class DeepPotential:
             # zero, as the per-type loop left them)
             valid = sub.neighbor_types >= 0
             slots = table.slot_index(center_type, sub.neighbor_types[valid])
+            # node placement inside evaluate_batched is float64 regardless of
+            # the compute dtype, so the table always reads the fp64 s values
             s_valid = sub.s[valid]
             nv = len(s_valid)
             if workspace is not None:
-                g = workspace.buffer(f"dp.emb.g.{center_type}", g_shape)
-                g_valid = workspace.capacity(f"dp.emb.vals.{center_type}", nv, trailing=(m_width,))
-                dg_valid = workspace.capacity(f"dp.emb.ders.{center_type}", nv, trailing=(m_width,))
+                g = workspace.buffer(f"dp.emb.g.{center_type}", g_shape, dtype=cd)
+                g_valid = workspace.capacity(f"dp.emb.vals.{center_type}", nv, trailing=(m_width,), dtype=cd)
+                dg_valid = workspace.capacity(f"dp.emb.ders.{center_type}", nv, trailing=(m_width,), dtype=cd)
                 table.evaluate_batched(
-                    slots, s_valid, out_values=g_valid, out_derivatives=dg_valid
+                    slots, s_valid, out_values=g_valid, out_derivatives=dg_valid, dtype=cd
                 )
             else:
-                g = np.empty(g_shape)
-                g_valid, dg_valid = table.evaluate_batched(slots, s_valid)
+                g = np.empty(g_shape, dtype=cd)
+                g_valid, dg_valid = table.evaluate_batched(slots, s_valid, dtype=cd)
             # dG/ds stays compact: only G must be dense for the descriptor
             # contraction (padded rows exactly zero, as the loop left them)
             g[~valid] = 0.0
@@ -326,38 +369,41 @@ class DeepPotential:
         else:
             valid = dg_valid = None
             if workspace is not None:
-                g = workspace.zeros(f"dp.emb.g.{center_type}", g_shape)
+                g = workspace.zeros(f"dp.emb.g.{center_type}", g_shape, dtype=cd)
             else:
-                g = np.zeros(g_shape)
+                g = np.zeros(g_shape, dtype=cd)
             for tj in np.unique(sub.neighbor_types):
                 if tj < 0:
                     continue
                 tj = int(tj)
                 sel = sub.neighbor_types == tj
-                s_sel = sub.s[sel]
+                s_sel = s_c[sel]
                 net = fast_emb[(center_type, tj)]
                 g_sel = net.forward(s_sel[:, None], backend=backend, dtypes=emb_dtypes, cache=True)
                 g[sel] = g_sel
                 group_cache[tj] = (sel, net._cache)
 
         # --- descriptor (batched matmuls: BLAS-backed, unlike c_einsum)
-        a = np.matmul(sub.R.transpose(0, 2, 1), g) / n_nei  # (B, 4, M)
+        a = np.matmul(r_c.transpose(0, 2, 1), g) / n_nei  # (B, 4, M)
         a_axis = a[:, :, :m2]
         d = np.matmul(a.transpose(0, 2, 1), a_axis)  # (B, M, M2)
         d_flat = d.reshape(batch, m_width * m2)
-        mean = self.descriptor_mean[center_type]
-        std = self.descriptor_std[center_type]
+        mean, std = self._standardization(center_type, cd)
         d_std = (d_flat - mean) / std
 
         # --- fitting net forward + backward (dE/dD)
         fit_net = self.fast_fittings()[center_type]
         energies = fit_net.forward(d_std, backend=backend, dtypes=fit_dtypes, cache=True)
-        energies = energies.reshape(batch) + self.energy_bias[center_type]
+        if mixed:
+            # the per-atom energy accumulation (bias add onwards) is float64
+            energies = energies.reshape(batch).astype(np.float64) + self.energy_bias[center_type]
+        else:
+            energies = energies.reshape(batch) + self.energy_bias[center_type]
         if workspace is not None:
-            ones = workspace.buffer(f"dp.fit.ones.{center_type}", (batch, 1))
+            ones = workspace.buffer(f"dp.fit.ones.{center_type}", (batch, 1), dtype=cd)
             ones.fill(1.0)
         else:
-            ones = np.ones((batch, 1))
+            ones = np.ones((batch, 1), dtype=cd)
         grad_dstd = fit_net.backward_input(ones, backend=backend, dtypes=fit_dtypes)
         grad_dflat = grad_dstd / std
         grad_d = grad_dflat.reshape(batch, m_width, m2)
@@ -366,22 +412,22 @@ class DeepPotential:
         grad_a = np.matmul(a_axis, grad_d.transpose(0, 2, 1))  # (B, 4, M)
         grad_a[:, :, :m2] += np.matmul(a, grad_d)  # (B, 4, M2)
         grad_r = np.matmul(g, grad_a.transpose(0, 2, 1)) / n_nei  # (B, N, 4)
-        grad_g = np.matmul(sub.R, grad_a) / n_nei  # (B, N, M)
+        grad_g = np.matmul(r_c, grad_a) / n_nei  # (B, N, M)
 
         # --- embedding backward: dE/ds from the G path
         if compressed:
             # contract against the compact dG/ds rows: padded slots contribute
             # exactly zero, so only the valid rows need the dot product
             if workspace is not None:
-                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei))
+                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei), dtype=cd)
             else:
-                grad_s_embed = np.zeros((batch, n_nei))
+                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)
             grad_s_embed[valid] = np.einsum("nm,nm->n", grad_g[valid], dg_valid)
         else:
             if workspace is not None:
-                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei))
+                grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei), dtype=cd)
             else:
-                grad_s_embed = np.zeros((batch, n_nei))
+                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)
             for tj, (sel, cache) in group_cache.items():
                 net = fast_emb[(center_type, tj)]
                 net._cache = cache
@@ -488,6 +534,11 @@ class DeepPotential:
         embedding path) with ds/dr and the R-row geometry to give
         g_d[b, n, :] = dE_b / d(d_bn), the gradient with respect to the
         minimum-image displacement vector of each neighbour slot.
+
+        ``grad_r`` / ``grad_s_embed`` may arrive in a reduced compute dtype
+        (the MIX policies); every geometry operand here is float64, so the
+        chain — and the force/virial scatters consuming its output — always
+        accumulates in float64 through NumPy's binary promotion.
         """
         mask = sub.mask
         safe_r = np.where(sub.distances > 0.0, sub.distances, 1.0)

@@ -75,10 +75,45 @@ class FastMLP:
         self.in_features = self.layers[0].weight.shape[0]
         self.out_features = self.layers[-1].weight.shape[1]
         self._cache: list[dict] | None = None
+        #: low-precision copies of the layer operands, built once per dtype
+        #: (the weights are frozen at export time, so the copies stay valid
+        #: for the lifetime of this kernel; re-exporting after a weight
+        #: update — ``DeepPotential.invalidate_kernels`` — drops them along
+        #: with the kernel itself)
+        self._lp_operands: dict[np.dtype, list[_LayerSpec]] = {}
+        #: number of low-precision operand builds (regression probe: steady
+        #: state must not rebuild)
+        self.lp_cache_builds = 0
 
     @classmethod
     def from_mlp(cls, mlp: MLP) -> "FastMLP":
         return cls(mlp.export_weights())
+
+    def operands(self, dtype) -> list[_LayerSpec]:
+        """Layer operands (weight, weight_t, bias) at the compute dtype.
+
+        float64 returns the exported arrays themselves; lower precisions are
+        cast **once** and cached, so mixed-precision GEMMs stop paying a
+        fresh ``astype`` weight copy on every call (the pre-fix churn).
+        """
+        dt = np.dtype(dtype)
+        if dt == np.dtype(np.float64):
+            return self.layers
+        specs = self._lp_operands.get(dt)
+        if specs is None:
+            specs = [
+                _LayerSpec(
+                    weight=layer.weight.astype(dt),
+                    weight_t=layer.weight_t.astype(dt),
+                    bias=layer.bias.astype(dt),
+                    activation=layer.activation,
+                    resnet=layer.resnet,
+                )
+                for layer in self.layers
+            ]
+            self._lp_operands[dt] = specs
+            self.lp_cache_builds += 1
+        return specs
 
     # -- forward ---------------------------------------------------------------
     def forward(
@@ -92,24 +127,38 @@ class FastMLP:
 
         ``dtypes`` optionally gives the compute precision per layer (defaults
         to float64 everywhere); this is how the mixed-precision policies pick
-        the fp32/fp16 layers.
+        the fp32/fp16 layers.  Low-precision layers run **natively**: the
+        cached pre-cast operands from :meth:`operands` feed the GEMM, the
+        bias add and activation execute at that precision, and the output
+        stays in it — only float64 layers follow the original (golden)
+        arithmetic, which is preserved bit-for-bit.
         """
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        x = np.atleast_2d(np.asarray(x))
+        if x.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):
+            x = x.astype(np.float64, copy=False)
         backend = backend or GemmBackend()
         cache_entries: list[dict] = []
         h = x
         for li, layer in enumerate(self.layers):
             dtype = np.float64 if dtypes is None else dtypes[min(li, len(dtypes) - 1)]
+            dt = np.dtype(dtype)
             act, _ = _activation(layer.activation)
-            pre = backend.matmul(h, layer.weight, dtype=dtype) + layer.bias
+            if dt == np.dtype(np.float64):
+                h_c = h
+                pre = backend.matmul(h, layer.weight, dtype=dtype) + layer.bias
+            else:
+                lp = self.operands(dt)[li]
+                h_c = h if h.dtype == dt else h.astype(dt)
+                pre = backend.matmul(h_c, lp.weight, dtype=dt, native_out=True)
+                pre += lp.bias
             out = act(pre)
             if layer.resnet:
                 if layer.weight.shape[1] == layer.weight.shape[0]:
-                    out = out + h
+                    out = out + h_c
                 elif layer.weight.shape[1] == 2 * layer.weight.shape[0]:
-                    out = out + np.concatenate([h, h], axis=-1)
+                    out = out + np.concatenate([h_c, h_c], axis=-1)
             if cache:
-                cache_entries.append({"input": h, "output": out, "pre": pre, "dtype": dtype})
+                cache_entries.append({"input": h_c, "output": out, "pre": pre, "dtype": dt})
             h = out
         if cache:
             self._cache = cache_entries
@@ -134,11 +183,19 @@ class FastMLP:
         if self._cache is None:
             raise RuntimeError("forward(cache=True) must run before backward_input")
         backend = backend or GemmBackend()
-        grad = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        grad = np.atleast_2d(np.asarray(grad_output))
+        if grad.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):
+            grad = grad.astype(np.float64, copy=False)
         for li in range(len(self.layers) - 1, -1, -1):
             layer = self.layers[li]
             entry = self._cache[li]
             dtype = np.float64 if dtypes is None else dtypes[min(li, len(dtypes) - 1)]
+            dt = np.dtype(dtype)
+            native = dt != np.dtype(np.float64)
+            weight, weight_t = layer.weight, layer.weight_t
+            if native:
+                lp = self.operands(dt)[li]
+                weight, weight_t = lp.weight, lp.weight_t
             _, act_deriv = _activation(layer.activation)
             grad_resnet = None
             if layer.resnet:
@@ -157,9 +214,9 @@ class FastMLP:
                     act_out = act_out - np.concatenate([entry["input"], entry["input"]], axis=-1)
             grad_pre = grad * act_deriv(act_out)
             if backend.pretranspose:
-                grad = backend.matmul(grad_pre, layer.weight_t, dtype=dtype)
+                grad = backend.matmul(grad_pre, weight_t, dtype=dt, native_out=native)
             else:
-                grad = backend.matmul(grad_pre, layer.weight, dtype=dtype, transposed_b=True)
+                grad = backend.matmul(grad_pre, weight, dtype=dt, transposed_b=True, native_out=native)
             if grad_resnet is not None:
                 grad = grad + grad_resnet
         return grad

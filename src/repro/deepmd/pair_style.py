@@ -15,7 +15,7 @@ from ..md.box import Box
 from ..md.forcefields.base import ForceField, ForceResult
 from ..md.neighbor import NeighborData
 from ..nnframework.session import Session
-from .gemm import GemmBackend
+from .gemm import GemmBackend, _dtype_name
 from .model import DeepPotential
 from .precision import DOUBLE, get_policy
 
@@ -75,6 +75,10 @@ class DeepPotentialForceField(ForceField):
                 min_distance=self.compression_min_distance,
             )
             self._table_generation = self.model.kernel_generation
+            if not self.precision.is_double:
+                # build the reduced-precision packed nodes up front so the
+                # first mixed-precision MD step pays no cast either
+                self._table.ensure_packed(self.precision.compute_dtype)
         return self._table
 
     @property
@@ -121,6 +125,11 @@ class DeepPotentialForceField(ForceField):
         """
         scalar = self.use_scalar_reference
         compressed = False if scalar else self.compressed
+        table_dtype = None
+        if compressed and not self.use_framework:
+            # the dtype the batched table kernel actually gathers/computes in
+            # (regression: must match what the precision field promises)
+            table_dtype = _dtype_name(self.precision.compute_dtype)
         return {
             "path": self.path,
             "precision": "double" if scalar else self.precision.name,
@@ -128,6 +137,7 @@ class DeepPotentialForceField(ForceField):
             "compressed": compressed,
             "compression_points": self.compression_points if compressed else None,
             "compression_min_distance": self.compression_min_distance if compressed else None,
+            "table_dtype": table_dtype,
             "framework": self.use_framework,
             "cutoff": self.cutoff,
             "n_parameters": self.model.n_parameters(),

@@ -61,6 +61,28 @@ class PrecisionPolicy:
     def uses_fp32(self) -> bool:
         return np.dtype(self.embedding_dtype) == np.dtype(np.float32)
 
+    @property
+    def is_double(self) -> bool:
+        """True when every component computes in float64 (the golden path)."""
+        return (
+            np.dtype(self.embedding_dtype) == np.dtype(np.float64)
+            and np.dtype(self.fitting_dtype) == np.dtype(np.float64)
+            and self.fitting_first_layer_dtype is None
+        )
+
+    @property
+    def compute_dtype(self) -> type:
+        """Dtype of the embedding/descriptor pipeline of the fast kernels.
+
+        float64 for the Double policy; the embedding dtype (fp32 for both MIX
+        policies) otherwise.  The environment matrix is always *built* in
+        float64 and the per-atom energy/force/virial reductions always
+        *accumulate* in float64 — this dtype governs the compute in between
+        (table interpolation / embedding nets, descriptor contraction,
+        fitting nets, and their backward chain).
+        """
+        return np.float64 if self.is_double else self.embedding_dtype
+
 
 DOUBLE = PrecisionPolicy("double")
 

@@ -43,24 +43,46 @@ class LangevinThermostat(Thermostat):
 
 
 class BerendsenThermostat(Thermostat):
-    """Berendsen weak-coupling rescaling thermostat."""
+    """Berendsen weak-coupling rescaling thermostat.
 
-    def __init__(self, temperature_k: float, coupling_fs: float = 100.0) -> None:
+    The raw weak-coupling rescale factor is
+    ``sqrt(1 + (dt/tau) * (T0/T - 1))``; when the current temperature far
+    exceeds the target under aggressive coupling (``dt/tau`` large) the
+    argument of the square root goes negative, which used to fill the
+    velocities with NaN silently.  The factor is therefore clamped into the
+    documented ``[min_factor, max_factor]`` window (the standard practice —
+    LAMMPS' ``fix temp/berendsen`` does the same): a single step never
+    rescales by more than ``max_factor`` nor below ``min_factor``, and the
+    sqrt argument is floored at ``min_factor**2`` so it can never go
+    negative.  Gentle-coupling trajectories (factor already inside the
+    window) are bit-for-bit unchanged.
+    """
+
+    def __init__(
+        self,
+        temperature_k: float,
+        coupling_fs: float = 100.0,
+        min_factor: float = 0.5,
+        max_factor: float = 2.0,
+    ) -> None:
         if temperature_k < 0:
             raise ValueError("temperature must be non-negative")
         if coupling_fs <= 0:
             raise ValueError("coupling time must be positive")
+        if not 0.0 < min_factor <= 1.0 <= max_factor:
+            raise ValueError("require 0 < min_factor <= 1 <= max_factor")
         self.temperature = float(temperature_k)
         self.coupling = float(coupling_fs)
+        self.min_factor = float(min_factor)
+        self.max_factor = float(max_factor)
 
     def apply(self, atoms: Atoms, timestep_fs: float) -> None:
         current = instantaneous_temperature(atoms.masses, atoms.velocities)
         if current <= 0.0:
             return
-        factor = np.sqrt(
-            1.0 + (timestep_fs / self.coupling) * (self.temperature / current - 1.0)
-        )
-        atoms.velocities *= factor
+        arg = 1.0 + (timestep_fs / self.coupling) * (self.temperature / current - 1.0)
+        factor = np.sqrt(max(arg, self.min_factor * self.min_factor))
+        atoms.velocities *= min(factor, self.max_factor)
 
 
 class VelocityRescale(Thermostat):

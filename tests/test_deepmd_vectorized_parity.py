@@ -44,6 +44,14 @@ FP32_ENERGY_ATOL = 1.0e-5
 #: Documented MIX-fp16 bounds (measured ~1e-5 forces / ~2e-4 energies).
 FP16_FORCE_ATOL = 1.0e-3
 FP16_ENERGY_ATOL = 1.0e-2
+#: Compressed-path MIX-fp32 force bound vs the *same-path* fp64 golden
+#: (measured ~7e-7: the fp32 rounding of the packed Hermite nodes dominates
+#: over the GEMM rounding).  The compressed reference is the fp64 compressed
+#: evaluate — the tabulation error itself is pinned separately by
+#: ``tests/test_deepmd_compression.py`` and can exceed these bounds wherever
+#: s leaves the tabulated range (constant extrapolation), which is a table
+#: property, not a precision one.
+COMPRESSED_FP32_FORCE_ATOL = 5.0e-6
 
 ENV_FIELDS = (
     "R",
@@ -158,17 +166,29 @@ class TestInferenceParity:
                 scalar = atom_raw_descriptor(model, env, int(i))
                 np.testing.assert_allclose(batched[row], scalar, rtol=0.0, atol=DOUBLE_ATOL)
 
+    @pytest.mark.parametrize("compressed", [False, True], ids=["uncompressed", "compressed"])
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_mixed_precision_documented_tolerances(self, seed):
+    def test_mixed_precision_documented_tolerances(self, seed, compressed):
+        """MIX policies vs the fp64 golden of the *same* inference path.
+
+        Uncompressed mixed runs are pinned to the scalar golden reference;
+        compressed mixed runs are pinned to the fp64 compressed evaluate, so
+        the bound isolates the precision error from the (separately pinned)
+        tabulation error.
+        """
         atoms, box, cutoff, smooth = make_system("water", seed)
         model = make_model("water", seed, cutoff, smooth)
         neighbors = build_neighbor_data(atoms.positions, box, cutoff)
-        out_ref = model.evaluate_scalar(atoms, box, neighbors)
+        if compressed:
+            out_ref = model.evaluate(atoms, box, neighbors, compressed=True)
+        else:
+            out_ref = model.evaluate_scalar(atoms, box, neighbors)
+        fp32_force_atol = COMPRESSED_FP32_FORCE_ATOL if compressed else FP32_FORCE_ATOL
         for policy, force_atol, energy_atol in (
-            (MIX_FP32, FP32_FORCE_ATOL, FP32_ENERGY_ATOL),
+            (MIX_FP32, fp32_force_atol, FP32_ENERGY_ATOL),
             (MIX_FP16, FP16_FORCE_ATOL, FP16_ENERGY_ATOL),
         ):
-            out = model.evaluate(atoms, box, neighbors, precision=policy)
+            out = model.evaluate(atoms, box, neighbors, precision=policy, compressed=compressed)
             np.testing.assert_allclose(out.forces, out_ref.forces, rtol=0.0, atol=force_atol)
             np.testing.assert_allclose(
                 out.per_atom_energy, out_ref.per_atom_energy, rtol=0.0, atol=energy_atol

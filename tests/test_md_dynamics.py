@@ -64,6 +64,47 @@ class TestThermostats:
         final = self._lj_copper_sim(BerendsenThermostat(300.0, coupling_fs=50.0))
         assert final < 600.0
 
+    def test_berendsen_hot_start_stays_finite(self):
+        """Regression: a hot start with aggressive coupling must not NaN.
+
+        With the current temperature far above the target and dt/tau large,
+        the raw weak-coupling sqrt argument 1 + (dt/tau)(T0/T - 1) goes
+        negative; the old code silently filled the velocities with NaN.  The
+        clamped factor must keep a single step inside the documented
+        [min_factor, max_factor] window instead.
+        """
+        atoms, box = copper_system((2, 2, 2), rng=9)
+        atoms.initialize_velocities(30000.0, rng=10)  # far above target
+        thermostat = BerendsenThermostat(300.0, coupling_fs=5.0)
+        before = instantaneous_temperature(atoms.masses, atoms.velocities)
+        # dt/tau = 2.0, T0/T ~ 0.01 -> raw sqrt argument ~ -0.98
+        thermostat.apply(atoms, timestep_fs=10.0)
+        assert np.all(np.isfinite(atoms.velocities))
+        after = instantaneous_temperature(atoms.masses, atoms.velocities)
+        assert after == pytest.approx(before * thermostat.min_factor**2)
+
+    def test_berendsen_cold_start_capped_by_max_factor(self):
+        """The heating direction is clamped symmetrically at max_factor."""
+        atoms, box = copper_system((2, 2, 2), rng=11)
+        atoms.initialize_velocities(1.0, rng=12)  # essentially frozen
+        thermostat = BerendsenThermostat(300.0, coupling_fs=5.0)
+        before = instantaneous_temperature(atoms.masses, atoms.velocities)
+        thermostat.apply(atoms, timestep_fs=10.0)
+        after = instantaneous_temperature(atoms.masses, atoms.velocities)
+        assert np.all(np.isfinite(atoms.velocities))
+        assert after == pytest.approx(before * thermostat.max_factor**2)
+
+    def test_berendsen_gentle_coupling_unchanged(self):
+        """In-window rescales match the unclamped textbook factor exactly."""
+        atoms, box = copper_system((2, 2, 2), rng=13)
+        atoms.initialize_velocities(450.0, rng=14)
+        current = instantaneous_temperature(atoms.masses, atoms.velocities)
+        expected = atoms.velocities * np.sqrt(
+            1.0 + (0.5 / 100.0) * (300.0 / current - 1.0)
+        )
+        BerendsenThermostat(300.0, coupling_fs=100.0).apply(atoms, timestep_fs=0.5)
+        np.testing.assert_array_equal(atoms.velocities, expected)
+
     def test_velocity_rescale_hits_target_exactly(self):
         atoms, box = copper_system((2, 2, 2), rng=5)
         atoms.initialize_velocities(500.0, rng=6)
@@ -75,6 +116,12 @@ class TestThermostats:
             LangevinThermostat(-1.0)
         with pytest.raises(ValueError):
             BerendsenThermostat(300.0, coupling_fs=0.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, min_factor=0.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, min_factor=1.5)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(300.0, max_factor=0.9)
         with pytest.raises(ValueError):
             VelocityRescale(300.0, every=0)
 
