@@ -2,12 +2,24 @@
 
 Runs the same dynamics on 1, 2, 4 and 8 simulated ranks and reports steps/sec
 plus the measured per-rank pair and neighbour-build times.  Because the ranks
-execute in-process the wall-clock does not drop with rank count — what must
-drop is the *work each rank performs*, which is exactly the quantity the
-paper's strong scaling rides on.  The assertions pin that sanity curve: the
-mean per-rank pair time shrinks as the domain grid grows, and the per-rank
-neighbour build (the vectorized binned build of ``md/neighbor.py``, timed
-under the ``neigh`` phase) stays a small fraction of the per-rank pair work.
+execute *sequentially in-process* the wall-clock does not drop with rank
+count — what must drop is the *work each rank performs*, which is exactly the
+quantity the paper's strong scaling rides on.  The assertions pin that sanity
+curve: the mean per-rank pair time shrinks as the domain grid grows, and the
+per-rank neighbour build (the vectorized binned build of ``md/neighbor.py``,
+timed under the ``neigh`` phase) stays a small fraction of the per-rank pair
+work.
+
+``test_bench_executor_strong_scaling`` is where the wall-clock *does* drop:
+the multiprocess executor runs the same ranks concurrently on a ~11k-atom LJ
+system, bitwise-identical to the sequential golden reference, and must beat
+it by >= 2x at 4 workers when the container actually has 4 cores (on fewer
+cores the guard degrades to an overhead floor — concurrency cannot help a
+machine that has nowhere to run it).
+
+``test_bench_node_box_sdmr`` prints the measured Table III: the node-box
+organization's measured atom-count SDMR next to the
+:class:`IntraNodeLoadBalancer` prediction it must reproduce.
 
 Run with::
 
@@ -16,9 +28,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro.md import water_system
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJones, copper_system, water_system
 from repro.md.forcefields.water import WaterReference
-from repro.parallel import DomainDecomposedSimulation
+from repro.parallel import DomainDecomposedSimulation, IntraNodeLoadBalancer
 
 N_MOLECULES = 333  # 999 atoms
 N_STEPS = 10
@@ -93,3 +111,148 @@ def test_bench_parallel_engine():
             f"({row['neigh_ms_per_rank_build']:.3f} ms) outweighs the whole "
             f"{N_STEPS}-step run's pair work"
         )
+
+
+# ---------------------------------------------------------------------------
+# Real concurrency: multiprocess executor strong scaling (~11k atoms)
+# ---------------------------------------------------------------------------
+
+SCALING_STEPS = 10
+#: pipe/slab dispatch overhead budget when the host cannot run workers in
+#: parallel at all: even time-sliced onto a single core (~0.2x measured on a
+#: 1-core container), 4 workers must retain this fraction of the sequential
+#: throughput — a runaway-overhead backstop, not a performance target.
+SINGLE_CORE_FLOOR = 0.15
+
+
+def _scaling_engine(atoms, box, executor, n_workers=None):
+    return DomainDecomposedSimulation(
+        atoms.copy(),
+        box,
+        LennardJones(0.05, 2.3, 5.0),
+        timestep_fs=2.0,
+        rank_dims=(2, 2, 1),
+        scheme="p2p",
+        neighbor_skin=0.4,
+        neighbor_every=5,
+        executor=executor,
+        n_workers=n_workers,
+    )
+
+
+def test_bench_executor_strong_scaling():
+    atoms, box = copper_system((14, 14, 14), perturbation=0.05, rng=21)  # 10976 atoms
+    atoms.initialize_velocities(300.0, rng=22)
+
+    sequential = _scaling_engine(atoms, box, "sequential")
+    start = time.perf_counter()
+    sequential.run(SCALING_STEPS)
+    sequential_seconds = time.perf_counter() - start
+
+    with _scaling_engine(atoms, box, "process", n_workers=4) as concurrent:
+        start = time.perf_counter()
+        concurrent.run(SCALING_STEPS)
+        concurrent_seconds = time.perf_counter() - start
+        # the speedup must never come at the price of the physics: the
+        # concurrent trajectory is bitwise-identical, not merely close
+        reference, gathered = sequential.gather(), concurrent.gather()
+        np.testing.assert_array_equal(gathered.positions, reference.positions)
+        np.testing.assert_array_equal(gathered.forces, reference.forces)
+        n_workers = concurrent._executor.pool.n_workers
+
+    speedup = sequential_seconds / concurrent_seconds
+    cores = len(os.sched_getaffinity(0))
+    print(
+        f"\nStrong scaling, {len(atoms)} atoms, {SCALING_STEPS} steps, 2x2x1 ranks "
+        f"({cores} cores visible):"
+    )
+    print(f"  sequential executor : {SCALING_STEPS / sequential_seconds:>8.2f} steps/s")
+    print(
+        f"  process executor x{n_workers} : {SCALING_STEPS / concurrent_seconds:>8.2f} "
+        f"steps/s  ({speedup:.2f}x)"
+    )
+    if cores >= 4 and n_workers >= 4:
+        assert speedup >= 2.0, (
+            f"4 workers on {cores} cores reached only {speedup:.2f}x over the "
+            "sequential executor (>= 2x required)"
+        )
+    else:
+        print(
+            f"  [note] only {cores} core(s) visible: asserting the "
+            f"{SINGLE_CORE_FLOOR:.2f}x dispatch-overhead floor instead of the 2x "
+            "speedup gate"
+        )
+        assert speedup >= SINGLE_CORE_FLOOR, (
+            f"process-executor dispatch overhead ate {1.0 - speedup:.0%} of the "
+            f"sequential throughput (floor {SINGLE_CORE_FLOOR:.2f}x)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Node-box load balance: measured SDMR vs the balancer's prediction
+# ---------------------------------------------------------------------------
+
+
+def test_bench_node_box_sdmr():
+    atoms, box = copper_system((6, 6, 6), perturbation=0.05, rng=23)  # 864 atoms
+    atoms.initialize_velocities(400.0, rng=24)
+
+    def _engine(node_balance):
+        return DomainDecomposedSimulation(
+            atoms.copy(),
+            box,
+            LennardJones(0.05, 2.3, 5.0),
+            timestep_fs=2.0,
+            rank_dims=(2, 2, 1),
+            scheme="node-based",
+            neighbor_skin=0.4,
+            neighbor_every=5,
+            node_balance=node_balance,
+        )
+
+    plain, balanced = _engine(False), _engine(True)
+    plain.run(N_STEPS)
+    balanced.run(N_STEPS)
+
+    measured_plain = plain.load_balance_stats()
+    measured_balanced = balanced.load_balance_stats()
+    balancer = IntraNodeLoadBalancer(balanced.decomposition)
+    positions = balanced.gather().positions
+    predicted = balancer.compare(positions, per_atom_time=1e-4, jitter_fraction=0.0)
+
+    rows = [
+        ("owner-computes (measured)", measured_plain),
+        ("node-box (measured)", measured_balanced),
+        ("owner-computes (predicted)", predicted["no"]),
+        ("node-box (predicted)", predicted["yes"]),
+    ]
+    print(f"\nNode-box SDMR, {len(atoms)} atoms, 2x2x1 ranks, node-based delivery:")
+    print(f"{'organization':>28} {'min':>5} {'avg':>7} {'max':>5} {'sdmr %':>7}")
+    for label, stats in rows:
+        natom = stats.atom_stats().summary()
+        print(
+            f"{label:>28} {natom['min']:>5.0f} {natom['avg']:>7.1f} "
+            f"{natom['max']:>5.0f} {natom['sdmr%']:>7.2f}"
+        )
+
+    # the measured node-box counts *are* the predicted even split
+    np.testing.assert_array_equal(
+        measured_balanced.atom_counts, predicted["yes"].atom_counts
+    )
+    measured_reduction = (
+        measured_plain.atom_stats().sdmr_percent
+        - measured_balanced.atom_stats().sdmr_percent
+    )
+    predicted_reduction = (
+        predicted["no"].atom_stats().sdmr_percent
+        - predicted["yes"].atom_stats().sdmr_percent
+    )
+    print(
+        f"  SDMR reduction: measured {measured_reduction:.2f} pts, "
+        f"predicted {predicted_reduction:.2f} pts (paper Table III: 79.7 % relative)"
+    )
+    assert measured_reduction >= 0.0
+    assert measured_reduction == pytest.approx(predicted_reduction)
+    # per-rank pair times are real wall-clock measurements on both engines
+    assert (measured_plain.pair_times > 0.0).all()
+    assert (measured_balanced.pair_times > 0.0).all()

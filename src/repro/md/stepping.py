@@ -25,10 +25,11 @@ The step sequence (identical for every backend, the structure LAMMPS uses):
 
 Wall-clock conventions: ``elapsed_seconds`` covers the steps of *this* run
 call (the lazily triggered initial force evaluation is excluded, matching the
-historical behaviour); ``neighbor_build_seconds`` is likewise per-run — the
-backend's cumulative build counter is snapshotted when ``run`` starts and the
-report carries the delta, which *includes* the initial build when this run
-triggered it.
+historical behaviour); ``neighbor_build_seconds`` and ``neighbor_builds`` are
+likewise per-run — the backend's cumulative counters are snapshotted when
+``run`` starts and the report carries the deltas, which *include* the initial
+build when this run triggered it.  (``neighbor_builds`` used to report the
+cumulative counter, so a second ``run()`` re-claimed the first run's builds.)
 """
 
 from __future__ import annotations
@@ -62,6 +63,8 @@ class SimulationReport:
     potential_energies: np.ndarray
     temperatures: np.ndarray
     timers: PhaseTimer
+    #: neighbour-list builds triggered during *this* ``run`` call (a per-run
+    #: delta of the backend's cumulative counter, like ``elapsed_seconds``).
     neighbor_builds: int
     #: wall-clock seconds accounted to *this* ``run`` call (the timers object
     #: accumulates across successive runs of the same simulation).
@@ -186,6 +189,7 @@ class SteppingLoop:
             raise ValueError("number of steps must be non-negative")
         timers = backend.timers
         build_seconds_start = backend.neighbor_build_seconds()
+        builds_start = backend.neighbor_build_count()
         if backend._last_energy is None:
             backend.compute_forces()
         timer_start = timers.total()
@@ -217,7 +221,7 @@ class SteppingLoop:
             potential_energies=np.array(energies),
             temperatures=np.array(temperatures),
             timers=timers,
-            neighbor_builds=backend.neighbor_build_count(),
+            neighbor_builds=backend.neighbor_build_count() - builds_start,
             elapsed_seconds=timers.total() - timer_start,
             force_field_info=harvest_force_field_info(backend.force_field),
             neighbor_build_seconds=backend.neighbor_build_seconds() - build_seconds_start,

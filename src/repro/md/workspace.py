@@ -90,6 +90,19 @@ class Workspace:
         array.fill(0)
         return array
 
+    def adopt(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register an externally allocated array as the buffer behind ``name``.
+
+        Subsequent :meth:`buffer`/:meth:`zeros` requests with a matching shape
+        and dtype return the adopted array itself, so code written against the
+        workspace API can be pointed at external storage — the multiprocess
+        executor adopts shared-memory slab views here, turning what would be
+        per-step copies into direct writes visible to the worker processes.
+        """
+        array = np.asarray(array)
+        self._arrays[name] = array
+        return array
+
     # -- grow-only capacity buffers --------------------------------------------
     def capacity(self, name: str, length: int, trailing: tuple[int, ...] = (), dtype=np.float64) -> np.ndarray:
         """A view of ``length`` rows over a grow-only backing buffer.

@@ -22,10 +22,14 @@ This package reproduces the *structure* of the paper's parallel runtime:
   dynamics over simulated ranks with ghost exchange, reverse force scatter
   and atom migration, pinned to the serial loop by the cross-rank parity
   suite,
+* :mod:`executor` — who runs the per-rank force stages: the sequential
+  golden reference, or concurrent forked worker processes over
+  shared-memory slabs (bit-identical by the fixed-order gather),
 * :mod:`loadbalance` — the intra-node load balancer and its SDMR statistics
-  (Table III, Fig. 10),
+  (Table III, Fig. 10), executable in the engine via ``node_balance=True``,
 * :mod:`memory_pool` — RDMA registered-memory pooling (Fig. 8),
-* :mod:`threadpool` — OpenMP vs persistent-thread-pool overhead accounting.
+* :mod:`threadpool` — the persistent worker pool the process executor
+  dispatches through, plus the OpenMP-vs-pool overhead model.
 """
 
 from .topology import RankTopology
@@ -47,10 +51,18 @@ from .schemes import (
 )
 from .loadbalance import IntraNodeLoadBalancer, LoadBalanceStats, pair_time_model
 from .memory_pool import RdmaBufferManager
-from .threadpool import ThreadingModel
-from .exchange import GhostExchange, resolve_delivery_scheme
+from .threadpool import PersistentWorkerPool, ThreadingModel, WorkerError
+from .exchange import GhostExchange, resolve_delivery_scheme, scheme_supports_node_box
 from .simcomm import GhostExchangeSimulator
 from .engine import DomainDecomposedSimulation, RankDomain
+from .executor import (
+    EXECUTOR_NAMES,
+    MultiprocessRankExecutor,
+    RankExecutor,
+    SequentialRankExecutor,
+    SharedRankArrays,
+    make_executor,
+)
 
 __all__ = [
     "RankTopology",
@@ -74,9 +86,18 @@ __all__ = [
     "pair_time_model",
     "RdmaBufferManager",
     "ThreadingModel",
+    "PersistentWorkerPool",
+    "WorkerError",
     "GhostExchange",
     "resolve_delivery_scheme",
+    "scheme_supports_node_box",
     "GhostExchangeSimulator",
     "DomainDecomposedSimulation",
     "RankDomain",
+    "RankExecutor",
+    "SequentialRankExecutor",
+    "MultiprocessRankExecutor",
+    "SharedRankArrays",
+    "make_executor",
+    "EXECUTOR_NAMES",
 ]

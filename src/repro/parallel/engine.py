@@ -42,6 +42,31 @@ Owned / ghost / migration lifecycle
   :class:`~repro.md.simulation.SimulationReport` as the serial loop, with an
   additional ``comm`` timer phase covering every exchange.
 
+Execution: who runs the ranks
+----------------------------
+
+The per-rank stages of a force evaluation (neighbour builds, density prepare,
+force finish) are delegated to a :class:`~repro.parallel.executor.RankExecutor`:
+``executor="sequential"`` (default) runs them in-process in rank order — the
+golden reference — while ``executor="process"`` runs them concurrently on a
+persistent pool of forked worker processes with shared-memory position/force
+slabs.  All parent-side communication (migration, ghost exchange, halo
+forward, reverse scatter) and all reductions happen in fixed rank order, so
+the concurrent executor is *bit-identical* to the sequential one (pinned by
+``tests/test_parallel_executor.py`` with exact equality).
+
+Intra-node load balancing (``node_balance=True``, §III-C) wires the node-box
+organization into the dynamics: under node-based delivery every rank of a
+node already holds the identical node-box atom copy (its node peers' atoms
+arrive as ghosts), so the engine splits each node's atoms evenly over the
+node's ranks — contiguous runs of the node's sorted gids, in NUMA slot order,
+exactly the ``floor(n/k)+remainder`` split
+:meth:`~repro.parallel.loadbalance.IntraNodeLoadBalancer.rank_counts_with_balance`
+predicts — and generalizes owner-computes to *assigned*-computes: a pair is
+evaluated by the rank assigned its lowest-gid member, a per-atom environment
+by the rank assigned its centre atom.  Measured per-rank ``pair_seconds``
+then become directly comparable to the :class:`LoadBalanceStats` model.
+
 Relation to :mod:`repro.perfmodel`: the perf package *prices* the ghost
 exchange of one representative rank on the Fugaku machine model, while this
 engine *executes* it.  The two meet through
@@ -59,7 +84,6 @@ both delivery schemes to the serial trajectories step-for-step at ``1e-10``.
 
 from __future__ import annotations
 
-import time
 from types import SimpleNamespace
 
 import numpy as np
@@ -68,14 +92,15 @@ from ..md.atoms import Atoms
 from ..md.box import Box
 from ..md.forcefields.base import ForceField
 from ..md.integrators import VelocityVerlet
-from ..md.neighbor import NeighborData, build_neighbor_data, max_displacement
+from ..md.neighbor import NeighborData, max_displacement
 from ..md.stepping import EngineBackend, SimulationReport, SteppingLoop, validate_cutoff
 from ..md.thermostats import Thermostat
 from ..md.workspace import Workspace, scatter_add_scalars, scatter_add_vectors
 from ..units import temperature as instantaneous_temperature
 from ..utils.timer import PhaseTimer
 from .decomposition import DecompositionStats, SpatialDecomposition
-from .exchange import GhostExchange, resolve_delivery_scheme
+from .exchange import GhostExchange, resolve_delivery_scheme, scheme_supports_node_box
+from .executor import make_executor
 from .loadbalance import IntraNodeLoadBalancer, LoadBalanceStats
 from .topology import RankTopology
 
@@ -120,6 +145,11 @@ class RankDomain:
         self.ghost_groups: list[tuple[int, np.ndarray, np.ndarray]] = []
         self.local_gids = self.gids
         self.neighbors: NeighborData | None = None
+        #: node-box share under intra-node load balancing: the sorted gids
+        #: this rank *evaluates* (None ⇒ classic owner-computes), plus the
+        #: same share as a global boolean mask for vectorized pair filtering.
+        self.balance_gids: np.ndarray | None = None
+        self.balance_mask: np.ndarray | None = None
         self.pair_seconds = 0.0
         self.neigh_seconds = 0.0
         self.scratch: dict = {}
@@ -172,12 +202,24 @@ def _owner_computed_mask(pairs: np.ndarray, local_gids: np.ndarray, n_owned: int
     return lowest < n_owned
 
 
-def _owner_filtered_pairs(domain: RankDomain) -> np.ndarray:
-    """The subset of the local pair list this rank computes."""
+def _computed_pairs(domain) -> np.ndarray:
+    """The subset of the local pair list this rank computes.
+
+    Classic owner-computes (``balance_mask is None``): the rank owning the
+    pair's lowest-gid member computes it.  Under intra-node load balancing
+    the same rule runs on the *assignment*: the rank whose node-box share
+    contains the lowest-gid member computes the pair — it necessarily holds
+    both members, because the node-box copy plus its ghost shell covers the
+    cutoff+skin environment of every assigned atom.  Either way each global
+    pair is computed by exactly one rank.
+    """
     pairs = domain.neighbors.pairs
     if len(pairs) == 0:
         return pairs
-    return pairs[_owner_computed_mask(pairs, domain.local_gids, domain.n_owned)]
+    if domain.balance_mask is None:
+        return pairs[_owner_computed_mask(pairs, domain.local_gids, domain.n_owned)]
+    ga, gb = domain.local_gids[pairs[:, 0]], domain.local_gids[pairs[:, 1]]
+    return pairs[domain.balance_mask[np.minimum(ga, gb)]]
 
 
 class _RankEvaluator:
@@ -206,7 +248,7 @@ class _PairEvaluator(_RankEvaluator):
     """Pair-decomposable force fields (LJ, Morse): filtered half pair list."""
 
     def rebuild(self, domain: RankDomain) -> None:
-        domain.scratch["pairs"] = _owner_filtered_pairs(domain)
+        domain.scratch["pairs"] = _computed_pairs(domain)
 
     def finish(self, domain: RankDomain, halo):
         engine = self.engine
@@ -254,7 +296,7 @@ class _MolecularEvaluator(_RankEvaluator):
             molecules=topology.molecules[domain.local_gids],
         )
         domain.scratch["local_ff"] = force_field.with_topology(local_topology)
-        domain.scratch["pairs"] = _owner_filtered_pairs(domain)
+        domain.scratch["pairs"] = _computed_pairs(domain)
 
     def finish(self, domain: RankDomain, halo):
         engine = self.engine
@@ -275,18 +317,30 @@ class _MolecularEvaluator(_RankEvaluator):
 class _PerAtomEvaluator(_RankEvaluator):
     """Per-atom energies over full neighbour lists (Deep Potential).
 
-    Ghost rows are masked out of the padded table, so the force field only
-    evaluates environments of owned atoms (whose neighbour lists are complete
-    by construction of the ghost shell) and scatters forces onto owned atoms
-    and ghost copies alike.
+    Rows this rank does not evaluate are masked out of the padded table, so
+    the force field only evaluates the environments of this rank's atoms and
+    scatters forces onto owned atoms and ghost copies alike.  Classic
+    owner-computes evaluates the owned rows (whose neighbour lists are
+    complete by construction of the ghost shell); under intra-node load
+    balancing the rank instead evaluates its node-box *share* — the rows
+    whose gid it was assigned, owned or node-peer ghost alike, every one of
+    them inside the node box whose cutoff+skin environment the node's ghost
+    shell covers.
     """
 
     def rebuild(self, domain: RankDomain) -> None:
         base = domain.neighbors
         neighbors = base.neighbors.copy()
         counts = base.counts.copy()
-        neighbors[domain.n_owned:, :] = -1
-        counts[domain.n_owned:] = 0
+        if domain.balance_mask is None:
+            neighbors[domain.n_owned:, :] = -1
+            counts[domain.n_owned:] = 0
+            domain.scratch["eval_rows"] = None
+        else:
+            keep = domain.balance_mask[domain.local_gids]
+            neighbors[~keep, :] = -1
+            counts[~keep] = 0
+            domain.scratch["eval_rows"] = np.nonzero(keep)[0]
         domain.scratch["masked"] = NeighborData(
             neighbors=neighbors,
             counts=counts,
@@ -307,7 +361,11 @@ class _PerAtomEvaluator(_RankEvaluator):
             raise RuntimeError(
                 "the 'peratom' parallel strategy requires a per-atom energy decomposition"
             )
-        energy = float(result.per_atom_energy[: domain.n_owned].sum())
+        rows = domain.scratch["eval_rows"]
+        if rows is None:
+            energy = float(result.per_atom_energy[: domain.n_owned].sum())
+        else:
+            energy = float(result.per_atom_energy[rows].sum())
         return energy, result.forces, result.virial
 
 
@@ -443,6 +501,20 @@ class DomainDecomposedSimulation(EngineBackend):
         gather/halo arrays) through preallocated
         :class:`~repro.md.workspace.Workspace` pools (False = the original
         allocating reference paths).
+    executor / n_workers:
+        who runs the per-rank force stages: ``"sequential"`` (default, the
+        golden reference) or ``"process"`` — a persistent pool of
+        ``n_workers`` forked worker processes computing over shared-memory
+        slabs, bit-identical to sequential (see
+        :mod:`repro.parallel.executor`).  Process engines hold OS resources;
+        call :meth:`close` (or use the engine as a context manager).
+    node_balance:
+        split each node-box's atoms evenly over the node's ranks instead of
+        evaluating strictly by sub-box ownership (§III-C).  Requires a
+        node-based delivery ``scheme`` (the node-box copy every rank of a
+        node then holds is what makes any assignment within the node legal)
+        and a ``pair`` or ``peratom`` strategy; the bonded/density
+        strategies keep the owner-computes golden path.
     """
 
     def __init__(
@@ -459,6 +531,9 @@ class DomainDecomposedSimulation(EngineBackend):
         thermostat: Thermostat | None = None,
         timers: PhaseTimer | None = None,
         use_workspace: bool = True,
+        executor: str = "sequential",
+        n_workers: int | None = None,
+        node_balance: bool = False,
     ) -> None:
         cutoff = validate_cutoff(force_field)
         self.box = box
@@ -484,6 +559,20 @@ class DomainDecomposedSimulation(EngineBackend):
             )
         self.strategy = strategy
         self.evaluator: _RankEvaluator = _EVALUATORS[strategy](self)
+
+        self.node_balance = bool(node_balance)
+        if self.node_balance:
+            if not scheme_supports_node_box(scheme):
+                raise ValueError(
+                    "node-box load balancing requires a node-based delivery scheme "
+                    f"(got {scheme!r}): only the node-box atom copy shared by every "
+                    "rank of a node makes an intra-node assignment evaluable"
+                )
+            if strategy not in ("pair", "peratom"):
+                raise ValueError(
+                    "node-box load balancing supports the 'pair' and 'peratom' "
+                    f"strategies; {strategy!r} keeps the owner-computes golden path"
+                )
 
         # global invariants (types/masses never change; ids are preserved)
         self.n_global = len(atoms)
@@ -528,6 +617,13 @@ class DomainDecomposedSimulation(EngineBackend):
         self._owner_of = np.empty(self.n_global, dtype=np.int64)
         self._slot_of = np.empty(self.n_global, dtype=np.int64)
         self._refresh_directory()
+
+        # the executor binds (and a process pool forks) against fully built
+        # domains, so this must stay the last step of construction
+        self._neighbors_ready = False
+        self._executor = make_executor(executor, n_workers=n_workers)
+        self._executor.bind(self)
+        self.executor_name = self._executor.name
 
     # -- directory ---------------------------------------------------------------
     @property
@@ -670,8 +766,17 @@ class DomainDecomposedSimulation(EngineBackend):
                 self.comm_messages += 1
             self.comm_bytes_forward += domain.n_ghost * BYTES_PER_VECTOR
 
-    def _forward_halo(self, values_per_rank: list[np.ndarray]) -> list[np.ndarray]:
-        """Forward a per-owned-atom scalar to every ghost copy (EAM density)."""
+    def _forward_halo(
+        self, values_per_rank: list[np.ndarray], sinks: list[np.ndarray] | None = None
+    ) -> list[np.ndarray]:
+        """Forward a per-owned-atom scalar to every ghost copy (EAM density).
+
+        ``sinks`` (from :meth:`RankExecutor.halo_sinks`) are optional per-rank
+        ``(n_ghost,)`` targets the halo values are gathered into — workspace
+        capacity buffers for the sequential executor, shared-memory slab views
+        for the process executor (so the forward exchange *is* the delivery
+        to the workers); ``None`` keeps the allocating reference path.
+        """
         if self.workspace is not None:
             scalar_global = self.workspace.zeros("halo.scalar", self.n_global)
         else:
@@ -679,8 +784,11 @@ class DomainDecomposedSimulation(EngineBackend):
         for domain, values in zip(self.domains, values_per_rank):
             scalar_global[domain.gids] = values
         halos = []
-        for domain in self.domains:
-            halos.append(scalar_global[domain.ghost_gids])
+        for i, domain in enumerate(self.domains):
+            if sinks is None:
+                halos.append(scalar_global[domain.ghost_gids])
+            else:
+                halos.append(np.take(scalar_global, domain.ghost_gids, out=sinks[i]))
             if domain.n_ghost:
                 self.comm_messages += len(domain.ghost_groups)
                 self.comm_bytes_forward += domain.n_ghost * 8.0
@@ -696,10 +804,36 @@ class DomainDecomposedSimulation(EngineBackend):
                 self.comm_messages += 1
             self.comm_bytes_reverse += domain.n_ghost * BYTES_PER_VECTOR
 
+    # -- node-box load balancing ---------------------------------------------------
+    def _assign_node_shares(self) -> None:
+        """Split each node-box's atoms evenly over the node's ranks (§III-C).
+
+        Runs at every rebuild, after migration has settled ownership: each
+        node's owned gids are sorted and dealt out as contiguous runs, in
+        :meth:`RankTopology.ranks_on_node` slot order — exactly the
+        ``floor(n/k)`` + remainder split
+        :meth:`IntraNodeLoadBalancer.rank_counts_with_balance` predicts, so
+        :meth:`assigned_counts` is directly checkable against the model.
+        """
+        for node_index in range(self.topology.n_nodes):
+            ranks = self.topology.ranks_on_node(self.topology.node_coord(node_index))
+            gids = np.sort(np.concatenate([self.domains[rank].gids for rank in ranks]))
+            base, remainder = divmod(len(gids), len(ranks))
+            start = 0
+            for slot, rank in enumerate(ranks):
+                count = base + (1 if slot < remainder else 0)
+                share = gids[start : start + count]
+                start += count
+                domain = self.domains[rank]
+                domain.balance_gids = share
+                mask = np.zeros(self.n_global, dtype=bool)
+                mask[share] = True
+                domain.balance_mask = mask
+
     # -- neighbour lists ----------------------------------------------------------
     def _needs_rebuild(self) -> bool:
         """The serial :class:`NeighborList` criterion, max-reduced over ranks."""
-        if any(domain.neighbors is None for domain in self.domains):
+        if not self._neighbors_ready:
             return True
         if self.neighbor_every and self._steps_since_build >= self.neighbor_every:
             return True
@@ -711,64 +845,55 @@ class DomainDecomposedSimulation(EngineBackend):
         )
         return max_disp > 0.5 * self.neighbor_skin
 
-    def _build_local_neighbors(self) -> None:
-        """Per-rank vectorized binned builds over each rank's owned+ghost set.
-
-        Every rank pays for its *own* local system only, so the build cost per
-        rank shrinks as the decomposition grows — the quantity
-        ``benchmarks/bench_neighbor_build.py`` and the ``neigh`` column of
-        ``bench_parallel_engine.py`` track.
-        """
-        for domain in self.domains:
-            start = time.perf_counter()
-            domain.neighbors = build_neighbor_data(
-                domain.local_positions(), self.box, self.cutoff, self.neighbor_skin
-            )
-            domain.neigh_seconds += time.perf_counter() - start
-            domain.ref_positions = domain.positions.copy()
-            self.evaluator.rebuild(domain)
-
     # -- force evaluation --------------------------------------------------------
     def compute_forces(self) -> float:
-        """One distributed force evaluation (comm + neigh + pair phases)."""
+        """One distributed force evaluation (comm + neigh + pair phases).
+
+        Parent-side communication and the fixed rank-order reductions live
+        here; the per-rank stages run on the bound executor (sequentially in
+        rank order, or concurrently on the worker pool — bit-identical
+        either way, see :mod:`repro.parallel.executor`).
+        """
         self._steps_since_build += 1
+        executor = self._executor
         if self._needs_rebuild():
             with self.timers.phase("comm"):
                 self._migrate()
                 self._exchange_ghosts()
+                if self.node_balance:
+                    self._assign_node_shares()
+                for domain in self.domains:
+                    domain.ref_positions = domain.positions.copy()
+                executor.publish_positions()
             with self.timers.phase("neigh"):
-                self._build_local_neighbors()
+                executor.rebuild()
+            self._neighbors_ready = True
             self.n_builds += 1
             self._steps_since_build = 0
         else:
             with self.timers.phase("comm"):
                 self._refresh_ghost_positions()
+                executor.publish_positions()
 
         halos: list[np.ndarray] | None = None
         if self.evaluator.needs_halo:
-            stage = []
             with self.timers.phase("pair"):
-                for domain in self.domains:
-                    start = time.perf_counter()
-                    stage.append(self.evaluator.prepare(domain))
-                    domain.pair_seconds += time.perf_counter() - start
+                stage = executor.prepare()
             with self.timers.phase("comm"):
-                halos = self._forward_halo(stage)
+                halos = self._forward_halo(stage, executor.halo_sinks())
 
         energy = 0.0
         virial: np.ndarray | None = None
         with self.timers.phase("pair"):
-            for i, domain in enumerate(self.domains):
-                start = time.perf_counter()
-                rank_energy, local_forces, rank_virial = self.evaluator.finish(
-                    domain, halos[i] if halos is not None else None
-                )
-                domain.pair_seconds += time.perf_counter() - start
-                # local_forces may live in the rank workspace (valid only
-                # until its next evaluation) — owned forces must survive into
-                # the integrator, so copy them into the persistent per-rank
-                # array; the ghost tail is consumed by the reverse scatter
-                # below before the buffer is ever reused.
+            for domain, (rank_energy, local_forces, rank_virial) in zip(
+                self.domains, executor.finish(halos)
+            ):
+                # local_forces may live in the rank workspace or the shared
+                # force slab (valid only until the rank's next evaluation) —
+                # owned forces must survive into the integrator, so copy them
+                # into the persistent per-rank array; the ghost tail is
+                # consumed by the reverse scatter below before the buffer is
+                # ever reused.
                 owned = local_forces[: domain.n_owned]
                 if domain.forces.shape == owned.shape:
                     np.copyto(domain.forces, owned)
@@ -852,6 +977,22 @@ class DomainDecomposedSimulation(EngineBackend):
             n_steps, sample_every=sample_every, trajectory_every=trajectory_every
         )
 
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources (worker processes, shared memory).
+
+        Idempotent, and a no-op for the sequential executor.  The engine
+        stays inspectable after close (gather, stats), but further force
+        evaluations on a process executor will fail.
+        """
+        self._executor.close()
+
+    def __enter__(self) -> "DomainDecomposedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- global views ------------------------------------------------------------
     def _gather_buffer(self, name: str) -> np.ndarray | None:
         """A reusable ``(n_global, 3)`` gather target, or ``None`` without pool."""
@@ -897,6 +1038,17 @@ class DomainDecomposedSimulation(EngineBackend):
     def ghost_counts(self) -> np.ndarray:
         return np.array([domain.n_ghost for domain in self.domains], dtype=np.int64)
 
+    def assigned_counts(self) -> np.ndarray:
+        """Atoms each rank *evaluates*: its node-box share under
+        ``node_balance`` (assigned at the last rebuild), else its owned set."""
+        if self.node_balance and all(
+            domain.balance_gids is not None for domain in self.domains
+        ):
+            return np.array(
+                [len(domain.balance_gids) for domain in self.domains], dtype=np.int64
+            )
+        return self.owned_counts()
+
     def decomposition_stats(self) -> DecompositionStats:
         """Measured per-rank owned-atom statistics (Table III columns)."""
         return DecompositionStats(self.owned_counts())
@@ -906,10 +1058,16 @@ class DomainDecomposedSimulation(EngineBackend):
         return DecompositionStats(self.ghost_counts())
 
     def load_balance_stats(self) -> LoadBalanceStats:
-        """Measured atom counts and pair times in the Table III layout."""
+        """Measured evaluated-atom counts and pair times (Table III layout).
+
+        With ``node_balance`` the atom counts are the node-box shares, so the
+        SDMR of these *measured* stats lands directly next to the
+        :meth:`IntraNodeLoadBalancer.compare` predictions.
+        """
+        suffix = "+lb" if self.node_balance else ""
         return LoadBalanceStats(
-            label=f"engine[{self.scheme_label}]",
-            atom_counts=self.owned_counts(),
+            label=f"engine[{self.scheme_label}{suffix}]",
+            atom_counts=self.assigned_counts(),
             pair_times=np.array([domain.pair_seconds for domain in self.domains]),
         )
 

@@ -61,6 +61,21 @@ def resolve_delivery_scheme(name: str) -> str:
         ) from None
 
 
+def scheme_supports_node_box(name: str) -> bool:
+    """Whether a delivery scheme gives every rank its node-box atom copy.
+
+    Under the node-based pattern both :meth:`GhostExchange.node_selection`
+    (which depends only on the *receiver's node*) and the peer delivery of
+    :meth:`GhostExchange.node_peer_ranks` hand every rank of a node the same
+    owned+ghost superset — the node-box copy.  That shared copy is the
+    precondition for the §III-C intra-node load balancing, where evaluation
+    of the node's atoms is split evenly regardless of which sub-box owns
+    them; the p2p pattern delivers per-sub-box shells only, so a rank cannot
+    be assigned a node peer's atom.
+    """
+    return resolve_delivery_scheme(name) == "node-based"
+
+
 def periodic_point_to_box_distance(
     positions: np.ndarray, lower: np.ndarray, upper: np.ndarray, lengths: np.ndarray
 ) -> np.ndarray:

@@ -47,6 +47,14 @@ class LoadBalanceStats:
         return {"natom": self.atom_stats().summary(), "pair": self.pair_time_stats()}
 
 
+#: Lower clamp on the multiplicative pair-time jitter.  The Gaussian noise of
+#: :func:`pair_time_model` is unbounded, so a large ``jitter_fraction`` could
+#: draw a negative multiplier and emit a *negative* per-rank pair time, which
+#: corrupts the SDMR statistics (std/mean with a near-zero mean).  A rank can
+#: be arbitrarily lucky but never takes negative wall-clock time.
+PAIR_TIME_NOISE_FLOOR = 0.01
+
+
 def pair_time_model(
     atom_counts: np.ndarray,
     per_atom_time: float,
@@ -57,13 +65,19 @@ def pair_time_model(
 
     The atom-by-atom evaluation of DeePMD makes the pair time essentially
     linear in the local atom count; ``jitter_fraction`` adds the cache/ghost
-    noise the paper mentions as secondary factors.
+    noise the paper mentions as secondary factors.  The noise multiplier is
+    clamped at :data:`PAIR_TIME_NOISE_FLOOR` so modelled times stay positive
+    for any jitter level.
     """
     if per_atom_time <= 0:
         raise ValueError("per-atom time must be positive")
     rng = default_rng(rng)
     counts = np.asarray(atom_counts, dtype=np.float64)
-    noise = rng.normal(1.0, jitter_fraction, size=counts.shape) if jitter_fraction > 0 else 1.0
+    if jitter_fraction > 0:
+        noise = rng.normal(1.0, jitter_fraction, size=counts.shape)
+        np.maximum(noise, PAIR_TIME_NOISE_FLOOR, out=noise)
+    else:
+        noise = 1.0
     return counts * per_atom_time * noise
 
 
@@ -92,12 +106,7 @@ class IntraNodeLoadBalancer:
         counts = np.zeros(topology.n_ranks, dtype=np.int64)
         for node_index, total in enumerate(node_counts):
             base, remainder = divmod(int(total), ranks_per_node)
-            node_coord = (
-                node_index // (topology.node_dims[1] * topology.node_dims[2]),
-                (node_index // topology.node_dims[2]) % topology.node_dims[1],
-                node_index % topology.node_dims[2],
-            )
-            for slot, rank in enumerate(topology.ranks_on_node(node_coord)):
+            for slot, rank in enumerate(topology.ranks_on_node(topology.node_coord(node_index))):
                 counts[rank] = base + (1 if slot < remainder else 0)
         return counts
 

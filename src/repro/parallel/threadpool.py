@@ -1,18 +1,132 @@
-"""Threading-model overhead accounting (OpenMP vs persistent thread pool).
+"""Persistent worker dispatch: the real pool and its overhead model.
 
 The original DeePMD-kit parallelizes with OpenMP; every parallel region pays a
 fork/join cost that becomes visible when the per-region work shrinks to a few
 microseconds (one or two atoms per thread).  The optimized code keeps a
 persistent thread pool whose workers spin, reducing the dispatch overhead by
-roughly an order of magnitude.  The model simply multiplies the per-region
-overhead by the number of parallel regions executed per MD step.
+roughly an order of magnitude.  :class:`ThreadingModel` multiplies the
+per-region overhead by the number of parallel regions executed per MD step.
+
+:class:`PersistentWorkerPool` is the executable counterpart the concurrent
+engine dispatches through: a fixed set of long-lived worker *processes*
+(Python threads cannot run NumPy force loops concurrently under the GIL),
+created once with the ``fork`` start method so workers inherit the engine
+state and shared-memory mappings instead of pickling them, and driven over
+duplex pipes.  Replies are always collected in worker-index order — the
+fixed-order gather that keeps every cross-rank reduction bit-identical to
+the sequential executor regardless of which worker finishes first.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import traceback
 from dataclasses import dataclass, field
 
 from ..hardware.specs import FugakuSpec, FUGAKU
+
+
+class WorkerError(RuntimeError):
+    """A worker process raised; carries the remote traceback text."""
+
+
+class PersistentWorkerPool:
+    """A fixed set of daemon worker processes driven over duplex pipes.
+
+    ``target(conn, *args)`` is spawned once per entry of ``per_worker_args``
+    and must loop on ``conn.recv()``, replying ``("ok", payload)`` per
+    request, ``("error", traceback_text)`` on failure, and exiting when it
+    receives ``("stop",)``.  The pool never re-spawns: like the paper's
+    spinning thread pool, dispatch cost is one pipe round-trip, not a
+    process/region start.
+    """
+
+    def __init__(self, target, per_worker_args, context: str = "fork") -> None:
+        if context not in mp.get_all_start_methods():
+            raise RuntimeError(
+                f"start method {context!r} unavailable; the persistent pool "
+                "relies on fork inheritance (no pickling of engine state)"
+            )
+        ctx = mp.get_context(context)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for args in per_worker_args:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=target, args=(child_conn, *args), daemon=True)
+            proc.start()
+            child_conn.close()  # the worker holds the only surviving end
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def broadcast(self, messages) -> list:
+        """Send one request per worker, then gather replies in worker order.
+
+        ``messages`` is either a single message sent to every worker or a
+        list with one message per worker.  All sends complete before any
+        receive, so workers run concurrently; the receive order (and hence
+        any reduction the caller performs over the replies) is fixed.
+        """
+        if not isinstance(messages, list):
+            messages = [messages] * self.n_workers
+        if len(messages) != self.n_workers:
+            raise ValueError(f"expected {self.n_workers} messages, got {len(messages)}")
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        return [self._receive(index) for index in range(self.n_workers)]
+
+    def _receive(self, index: int):
+        try:
+            status, payload = self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(f"worker {index} died mid-request: {exc!r}") from None
+        if status == "error":
+            raise WorkerError(f"worker {index} raised:\n{payload}")
+        return payload
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker; joins politely, terminates stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def worker_reply(conn, handler, message) -> bool:
+    """One step of the worker-side protocol loop; returns False on stop.
+
+    Runs ``handler(message)`` and ships ``("ok", result)`` back, or the
+    formatted traceback as ``("error", text)`` so the parent's
+    :class:`WorkerError` shows where the remote code failed.
+    """
+    if message[0] == "stop":
+        return False
+    try:
+        conn.send(("ok", handler(message)))
+    except Exception:  # noqa: BLE001 - the traceback crosses the pipe
+        conn.send(("error", traceback.format_exc()))
+    return True
 
 
 @dataclass

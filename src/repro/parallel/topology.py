@@ -110,6 +110,15 @@ class RankTopology:
         x, y, z = (int(c) % d for c, d in zip(node_coord, self.node_dims))
         return (x * ny + y) * nz + z
 
+    def node_coord(self, index: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`node_index` (same row-major convention)."""
+        nx, ny, nz = self.node_dims
+        x, rem = divmod(int(index), ny * nz)
+        y, z = divmod(rem, nz)
+        if not 0 <= x < nx:
+            raise IndexError(f"node {index} out of range")
+        return (x, y, z)
+
     def same_node(self, rank_a: int, rank_b: int) -> bool:
         return self.node_of_rank(rank_a) == self.node_of_rank(rank_b)
 

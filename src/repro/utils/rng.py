@@ -30,13 +30,25 @@ def default_rng(seed=None) -> np.random.Generator:
 def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
     """Create ``n`` statistically independent child generators.
 
-    Used when a simulation component (e.g. per-rank workload jitter) needs one
+    Used when a simulation component (e.g. per-rank workload jitter, or the
+    per-rank streams of the multiprocess executor's worker ranks) needs one
     stream per simulated MPI rank while remaining reproducible regardless of
     evaluation order.
+
+    ``seed`` may be an integer, ``None``, or an existing ``Generator``.  When a
+    generator is passed, the child entropy is drawn *from that generator's
+    stream* (``bit_generator.random_raw``), so two generators in the same
+    state spawn identical children — previously this case silently fell back
+    to ``SeedSequence(None)`` (fresh OS entropy) and was irreproducible.  Note
+    that deriving the entropy advances the parent generator.
     """
     if n < 0:
         raise ValueError("number of streams must be non-negative")
-    root = np.random.SeedSequence(seed if not isinstance(seed, np.random.Generator) else None)
+    if isinstance(seed, np.random.Generator):
+        entropy = [int(word) for word in seed.bit_generator.random_raw(4)]
+        root = np.random.SeedSequence(entropy)
+    else:
+        root = np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in root.spawn(n)]
 
 

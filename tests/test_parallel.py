@@ -22,7 +22,7 @@ from repro.parallel import (
     resolve_delivery_scheme,
 )
 from repro.parallel.ghost import ghost_overhead_ratio, ghost_shell_ranks, neighbor_count, overlap_volume
-from repro.parallel.loadbalance import pair_time_model
+from repro.parallel.loadbalance import PAIR_TIME_NOISE_FLOOR, pair_time_model
 from repro.parallel.schemes import SCHEME_NAMES, ExchangeContext
 
 
@@ -236,6 +236,15 @@ class TestLoadBalance:
         np.testing.assert_allclose(times, [1e-3, 2e-3, 4e-3])
         with pytest.raises(ValueError):
             pair_time_model(np.array([1]), per_atom_time=0.0)
+
+    def test_pair_time_model_times_stay_positive(self):
+        """The regression: unbounded Gaussian jitter could draw a negative
+        multiplier and emit negative per-rank wall-clock times, corrupting
+        the SDMR statistics.  The noise is clamped at a positive floor."""
+        counts = np.full(4096, 10)
+        times = pair_time_model(counts, per_atom_time=1e-3, jitter_fraction=5.0, rng=0)
+        assert (times > 0.0).all()
+        assert times.min() >= 10 * 1e-3 * PAIR_TIME_NOISE_FLOOR - 1e-15
 
     def test_compare_summary_structure(self):
         positions, balancer = self._setup()

@@ -84,6 +84,22 @@ class TestNeighborBuildSecondsPerRun:
             cumulative
         )
 
+    @pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+    def test_two_runs_report_their_own_build_counts(self, backend):
+        """``neighbor_builds`` is a per-run delta like the seconds field.
+
+        The regression: the report used to copy the backend's *cumulative*
+        counter, so a second ``run()`` re-reported the first run's builds."""
+        atoms, box = _copper()
+        sim = BACKENDS[backend](atoms, box)
+        first = sim.run(8)
+        second = sim.run(8)
+        assert first.neighbor_builds > 0
+        assert second.neighbor_builds > 0
+        cumulative = sim.neighbor_build_count()
+        assert first.neighbor_builds < cumulative
+        assert first.neighbor_builds + second.neighbor_builds == cumulative
+
     def test_first_run_includes_the_initial_build(self):
         atoms, box = _copper()
         sim = _serial(atoms, box)

@@ -33,6 +33,25 @@ def test_spawn_rngs_negative_count_rejected():
         spawn_rngs(0, -1)
 
 
+def test_spawn_rngs_from_generator_is_deterministic():
+    """The regression: seeding with a Generator used to fall through to
+    ``SeedSequence(generator)``'s OS-entropy path, so two identically seeded
+    parents spawned *different* children on every call."""
+    values_a = [rng.random(3) for rng in spawn_rngs(np.random.default_rng(42), 3)]
+    values_b = [rng.random(3) for rng in spawn_rngs(np.random.default_rng(42), 3)]
+    for a, b in zip(values_a, values_b):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rngs_from_generator_consumes_parent_state():
+    """Spawning draws from the parent, so successive spawns differ (the
+    children stay independent streams, not copies)."""
+    parent = np.random.default_rng(42)
+    first = spawn_rngs(parent, 1)[0].random(3)
+    second = spawn_rngs(parent, 1)[0].random(3)
+    assert not np.allclose(first, second)
+
+
 def test_random_unit_vectors_are_normalized():
     vectors = random_unit_vectors(default_rng(1), 100)
     norms = np.linalg.norm(vectors, axis=1)
