@@ -1,6 +1,6 @@
 """Fig. 11 — strong scaling of the optimized code from 768 to 12,000 nodes."""
 
-from repro.core.experiments import FIG11_NODE_COUNTS, end_to_end_speedup, fig11_strong_scaling
+from repro.core.experiments import end_to_end_speedup, fig11_strong_scaling
 
 
 def test_fig11_strong_scaling(benchmark):

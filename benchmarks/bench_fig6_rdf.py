@@ -1,7 +1,5 @@
 """Fig. 6 — water radial distribution functions under three precisions."""
 
-import numpy as np
-
 from repro.core.experiments import fig6_overlap_errors, fig6_rdf
 
 

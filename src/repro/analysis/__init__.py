@@ -1,6 +1,8 @@
-"""Analysis helpers: error metrics, SDMR, RDF comparison."""
+"""Analysis helpers: error metrics, SDMR, RDF comparison — and reprolint,
+the AST-based invariant linter (``python -m repro.analysis``)."""
 
 from .errors import energy_error_per_atom, force_rmse, force_max_error, precision_error_table
+from .reprolint import Violation, lint_paths, lint_source
 from .sdmr import sdmr_percent
 
 __all__ = [
@@ -9,4 +11,7 @@ __all__ = [
     "force_max_error",
     "precision_error_table",
     "sdmr_percent",
+    "Violation",
+    "lint_paths",
+    "lint_source",
 ]

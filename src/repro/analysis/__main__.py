@@ -1,0 +1,50 @@
+"""CLI: ``python -m repro.analysis [paths...]`` — lint the house invariants.
+
+Exits 0 when every contract holds, 1 with ``file:line: RLxxx message``
+diagnostics otherwise.  The default target is ``src`` (the production tree);
+CI also passes ``tests benchmarks`` so seeded corpora and harness code keep
+the same pragma hygiene.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .reprolint import FRAMEWORK_RULE_ID, FRAMEWORK_SLUG, lint_paths
+from .rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: AST-enforced architecture invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(f"{FRAMEWORK_RULE_ID} [{FRAMEWORK_SLUG}] pragma hygiene and parse errors")
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.rule_id} [{rule_cls.slug}] {rule_cls.description}")
+        return 0
+
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""The machine-checkable house contracts consumed by :mod:`repro.analysis.rules`.
+
+Every entry here encodes one of the ROADMAP's architecture notes as data the
+AST rules can enforce.  The declarations are intentionally *explicit* — a new
+golden site, hot-path registration or sanctioned dtype module is a reviewed
+edit to this file (or a ``# reprolint:`` annotation in the source), never an
+inference the linter makes on its own.
+
+Path matching is by normalized POSIX suffix, so the same declarations work for
+``src/repro/...`` on disk and for the synthetic filenames the rule self-tests
+lint in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GoldenSite",
+    "GOLDEN_SITES",
+    "FAST_PATH_MODULES",
+    "FAST_PATH_NAMES",
+    "HOT_PATH_MARKER",
+    "ALLOCATING_CONSTRUCTORS",
+    "DTYPE_SANCTIONED_SUFFIXES",
+    "LOW_PRECISION_ATTRS",
+    "PARALLEL_SCOPE",
+    "PRODUCTION_SCOPE",
+]
+
+
+@dataclass(frozen=True)
+class GoldenSite:
+    """One frozen golden-reference region.
+
+    ``path_suffix`` selects the file; ``qualname`` selects a function, method
+    (``Class.method``) or whole class inside it — ``None`` freezes the entire
+    module (the ``deepmd/scalar.py`` pattern).
+    """
+
+    path_suffix: str
+    qualname: str | None
+    note: str
+
+
+#: The golden references of the ROADMAP architecture notes (PRs 1, 3, 5, 7).
+#: Each must stay free of fast-path idioms so the parity pins keep comparing
+#: an optimized path against genuinely un-optimized arithmetic.
+GOLDEN_SITES: tuple[GoldenSite, ...] = (
+    GoldenSite(
+        "repro/deepmd/scalar.py",
+        None,
+        "PR 1: the per-atom scalar Deep Potential reference, pinned at 1e-10",
+    ),
+    GoldenSite(
+        "repro/md/neighbor.py",
+        "_brute_force_pairs",
+        "PR 3: the O(N^2) pair-search reference the binned build is bitwise-confirmed against",
+    ),
+    GoldenSite(
+        "repro/deepmd/compression.py",
+        "TabulatedEmbeddingSet.evaluate",
+        "PR 5: the per-key table reference the batched Hermite kernel is pinned to at 1e-12",
+    ),
+    GoldenSite(
+        "repro/parallel/executor.py",
+        "SequentialRankExecutor",
+        "PR 7: the in-process executor the multiprocess path must match bitwise",
+    ),
+)
+
+#: Modules whose import inside a golden site marks fast-path leakage (matched
+#: on the last dotted component so relative imports resolve too).
+FAST_PATH_MODULES: frozenset[str] = frozenset({"workspace", "gemm"})
+
+#: Names whose import or call inside a golden site marks fast-path leakage.
+FAST_PATH_NAMES: frozenset[str] = frozenset(
+    {"scatter_add_vectors", "scatter_add_scalars", "GemmBackend"}
+)
+
+#: The in-source marker body registering a function as a per-step hot path;
+#: the full directive goes on the ``def`` line or the line above it.
+HOT_PATH_MARKER = "hot-path"
+
+#: NumPy constructors that allocate a fresh array every call — banned inside
+#: registered hot paths (the static complement of ``bench_run_loop.py``'s
+#: runtime allocation budget).  ``np.ufunc.at`` and out-less ``.astype`` are
+#: handled structurally by the rule, not by this name set.
+ALLOCATING_CONSTRUCTORS: frozenset[str] = frozenset(
+    {"zeros", "empty", "ones", "full", "concatenate", "stack", "hstack", "vstack"}
+)
+
+#: The only production modules allowed to name a low-precision dtype (the PR 6
+#: precision-policy boundary): policy definitions, the packed table cast and
+#: the GEMM backend.
+DTYPE_SANCTIONED_SUFFIXES: tuple[str, ...] = (
+    "repro/deepmd/precision.py",
+    "repro/deepmd/compression.py",
+    "repro/deepmd/gemm.py",
+)
+
+#: Attribute names that count as low-precision dtype literals.
+LOW_PRECISION_ATTRS: frozenset[str] = frozenset({"float32", "float16", "half"})
+
+#: Path fragment scoping the fixed-order-reduction rule (the PR 7 bitwise
+#: invariant lives in the parallel package).
+PARALLEL_SCOPE = "repro/parallel/"
+
+#: Path fragment scoping production-tree-only rules (tests and benchmarks may
+#: probe dtypes freely).
+PRODUCTION_SCOPE = "repro/"
+
+
+def in_production_tree(rel_path: str) -> bool:
+    """True when ``rel_path`` lies inside the installed ``repro`` package."""
+    return PRODUCTION_SCOPE in rel_path
+
+
+def in_parallel_package(rel_path: str) -> bool:
+    return PARALLEL_SCOPE in rel_path
+
+
+def is_dtype_sanctioned(rel_path: str) -> bool:
+    return any(rel_path.endswith(suffix) for suffix in DTYPE_SANCTIONED_SUFFIXES)

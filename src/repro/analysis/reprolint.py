@@ -1,0 +1,356 @@
+"""reprolint — an AST-based invariant linter for the house contracts.
+
+The runtime test tiers catch a contract violation steps after the fact (a
+parity diff, an allocation counter); this framework catches it at parse time
+with a ``file:line`` diagnostic.  It is dependency-free: files are parsed with
+:mod:`ast`, comments are recovered with :mod:`tokenize` (so pragma text inside
+string literals — e.g. the rule self-test corpus — is never mistaken for a
+directive), and each rule walks the tree through a small registry.
+
+Pragmas
+-------
+Two comment directives are recognised, on real comment tokens only:
+
+``# reprolint: hot-path``
+    on a ``def`` line (or the line directly above it) registers that function
+    as a per-step hot path for the allocation rule (RL002).
+
+``# reprolint: allow[<slug>] <reason>``
+    on the offending line suppresses the rule with that slug there.  The
+    reason is mandatory — an exemption without a written justification is
+    itself a diagnostic — and a suppression that no longer suppresses
+    anything is flagged too, so stale pragmas cannot accumulate.
+
+Running
+-------
+``python -m repro.analysis [paths...]`` lints the given files/directories
+(default: ``src``) and exits non-zero on any finding.  Programmatic entry
+points: :func:`lint_paths` and, for the self-test corpus, :func:`lint_source`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .contracts import HOT_PATH_MARKER
+
+__all__ = [
+    "Violation",
+    "Pragma",
+    "ParsedFile",
+    "Rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Rule id used for framework-level findings (pragma hygiene, syntax errors).
+FRAMEWORK_RULE_ID = "RL000"
+FRAMEWORK_SLUG = "pragma"
+
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(?P<body>.*\S)")
+_ALLOW_RE = re.compile(r"allow\[(?P<slug>[A-Za-z0-9_-]+)\]\s*(?P<reason>.*)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, formatted ``path:line: RULE message``."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class Pragma:
+    """One ``# reprolint:`` directive recovered from a comment token."""
+
+    line: int
+    kind: str  # "allow" | "hot-path" | "unknown"
+    slug: str | None = None
+    reason: str = ""
+    raw: str = ""
+    used: bool = False
+
+
+class _QualnameIndexer(ast.NodeVisitor):
+    """Records the dotted qualname of every function/class definition."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+        self.functions: list[tuple[str, ast.AST]] = []
+        self.classes: list[tuple[str, ast.ClassDef]] = []
+
+    def _enter(self, node, registry) -> None:
+        self.stack.append(node.name)
+        registry.append((".".join(self.stack), node))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node, self.functions)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node, self.functions)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node, self.classes)
+
+
+@dataclass
+class ParsedFile:
+    """A parsed source file plus the indexes the rules consume."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, list[Pragma]] = field(default_factory=dict)
+    functions: list[tuple[str, ast.AST]] = field(default_factory=list)
+    classes: list[tuple[str, ast.ClassDef]] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, source: str, rel_path: str) -> "ParsedFile":
+        tree = ast.parse(source, filename=rel_path)
+        indexer = _QualnameIndexer()
+        indexer.visit(tree)
+        parsed = cls(
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            functions=indexer.functions,
+            classes=indexer.classes,
+        )
+        parsed._collect_pragmas()
+        return parsed
+
+    # -- pragmas ---------------------------------------------------------------
+    def _collect_pragmas(self) -> None:
+        """Recover directives from COMMENT tokens (never string literals)."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):  # pragma: no cover
+            comments = []
+        for line, text in comments:
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            body = match.group("body").strip()
+            if body == HOT_PATH_MARKER:
+                pragma = Pragma(line=line, kind=HOT_PATH_MARKER, raw=body)
+            else:
+                allow = _ALLOW_RE.fullmatch(body)
+                if allow is not None:
+                    pragma = Pragma(
+                        line=line,
+                        kind="allow",
+                        slug=allow.group("slug"),
+                        reason=allow.group("reason").strip(),
+                        raw=body,
+                    )
+                else:
+                    pragma = Pragma(line=line, kind="unknown", raw=body)
+            self.pragmas.setdefault(line, []).append(pragma)
+
+    def allow_pragma(self, line: int, slug: str) -> Pragma | None:
+        """The ``allow[slug]`` directive on ``line``, if any."""
+        for pragma in self.pragmas.get(line, ()):
+            if pragma.kind == "allow" and pragma.slug == slug:
+                return pragma
+        return None
+
+    # -- hot-path registry -----------------------------------------------------
+    def hot_path_functions(self) -> list[tuple[str, ast.AST]]:
+        """Functions registered via the ``hot-path`` marker.
+
+        The marker binds to a ``def`` whose header line carries it, or that
+        starts on the line immediately below a marker-only comment line.
+        """
+        marker_lines = {
+            line
+            for line, pragmas in self.pragmas.items()
+            if any(p.kind == HOT_PATH_MARKER for p in pragmas)
+        }
+        if not marker_lines:
+            self._orphan_markers: list[int] = []
+            return []
+        registered = []
+        claimed: set[int] = set()
+        for qualname, node in self.functions:
+            if node.lineno in marker_lines:
+                registered.append((qualname, node))
+                claimed.add(node.lineno)
+            elif node.lineno - 1 in marker_lines:
+                registered.append((qualname, node))
+                claimed.add(node.lineno - 1)
+        self._orphan_markers = sorted(marker_lines - claimed)
+        return registered
+
+    def orphan_hot_path_markers(self) -> list[int]:
+        """Marker lines that did not bind to any function definition."""
+        if not hasattr(self, "_orphan_markers"):
+            self.hot_path_functions()
+        return self._orphan_markers
+
+
+class Rule:
+    """Base class: one invariant, one rule id, one pragma slug."""
+
+    rule_id: str = "RL999"
+    slug: str = "unnamed"
+    description: str = ""
+
+    def applies(self, parsed: ParsedFile) -> bool:
+        return True
+
+    def check(self, parsed: ParsedFile):
+        """Yield ``(line, message)`` candidates; suppression is handled by
+        the framework so rules stay pure detectors."""
+        raise NotImplementedError  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by the rules
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+def is_numpy_root(name: str) -> bool:
+    return name.split(".", 1)[0] in ("np", "numpy")
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+def _active_rules() -> list[Rule]:
+    from .rules import ALL_RULES
+
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def _lint_parsed(parsed: ParsedFile, rules: list[Rule]) -> list[Violation]:
+    violations: list[Violation] = []
+    for rule in rules:
+        if not rule.applies(parsed):
+            continue
+        for line, message in rule.check(parsed):
+            pragma = parsed.allow_pragma(line, rule.slug)
+            if pragma is not None:
+                pragma.used = True
+                continue
+            violations.append(Violation(parsed.rel_path, line, rule.rule_id, message))
+    violations.extend(_pragma_hygiene(parsed, rules))
+    violations.sort(key=lambda v: (v.line, v.rule_id))
+    return violations
+
+
+def _pragma_hygiene(parsed: ParsedFile, rules: list[Rule]) -> list[Violation]:
+    """Framework findings: malformed, reason-less and stale pragmas."""
+    known_slugs = {rule.slug for rule in rules} | {FRAMEWORK_SLUG}
+    findings: list[Violation] = []
+
+    def hygiene(line: int, message: str) -> None:
+        exemption = parsed.allow_pragma(line, FRAMEWORK_SLUG)
+        if exemption is not None and exemption.reason:
+            exemption.used = True
+            return
+        findings.append(Violation(parsed.rel_path, line, FRAMEWORK_RULE_ID, message))
+
+    for line in sorted(parsed.pragmas):
+        for pragma in parsed.pragmas[line]:
+            if pragma.kind == "unknown":
+                hygiene(line, f"unrecognised reprolint directive {pragma.raw!r}")
+            elif pragma.kind == "allow":
+                if pragma.slug not in known_slugs:
+                    hygiene(line, f"allow[{pragma.slug}] names no known rule slug")
+                elif not pragma.reason:
+                    hygiene(
+                        line,
+                        f"allow[{pragma.slug}] carries no reason; every exemption "
+                        "must say why it is safe",
+                    )
+                elif not pragma.used and pragma.slug != FRAMEWORK_SLUG:
+                    hygiene(
+                        line,
+                        f"allow[{pragma.slug}] suppresses nothing here; remove the "
+                        "stale pragma",
+                    )
+    for line in parsed.orphan_hot_path_markers():
+        hygiene(line, "hot-path marker is not attached to a function definition")
+    return findings
+
+
+def lint_source(source: str, rel_path: str) -> list[Violation]:
+    """Lint in-memory source as if it lived at ``rel_path`` (rule self-tests)."""
+    try:
+        parsed = ParsedFile.parse(source, rel_path)
+    except SyntaxError as exc:
+        return [
+            Violation(rel_path, exc.lineno or 1, FRAMEWORK_RULE_ID, f"syntax error: {exc.msg}")
+        ]
+    return _lint_parsed(parsed, _active_rules())
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py")) if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: list[str | Path]) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; violations in path order."""
+    rules = _active_rules()
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        rel_path = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            violations.append(Violation(rel_path, 1, FRAMEWORK_RULE_ID, f"unreadable: {exc}"))
+            continue
+        try:
+            parsed = ParsedFile.parse(source, rel_path)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(rel_path, exc.lineno or 1, FRAMEWORK_RULE_ID, f"syntax error: {exc.msg}")
+            )
+            continue
+        violations.extend(_lint_parsed(parsed, rules))
+    return violations

@@ -1,0 +1,395 @@
+"""RL001–RL005: the house contracts as AST rules.
+
+Each rule encodes one ROADMAP architecture note (see :mod:`.contracts` for
+the declared sites) and yields ``(line, message)`` candidates; suppression,
+pragma bookkeeping and formatting live in :mod:`.reprolint`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import contracts
+from .reprolint import ParsedFile, Rule, call_name, dotted_name, is_numpy_root
+
+__all__ = [
+    "GoldenFreezeRule",
+    "HotPathAllocationRule",
+    "BackendPurityRule",
+    "FixedOrderReductionRule",
+    "DtypeDisciplineRule",
+    "ALL_RULES",
+]
+
+
+def _last_component(module: str | None) -> str:
+    if not module:
+        return ""
+    return module.rsplit(".", 1)[-1]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — golden-freeze
+# ---------------------------------------------------------------------------
+
+
+class GoldenFreezeRule(Rule):
+    """Declared golden sites must stay free of fast-path idioms.
+
+    The parity pins (scalar DP, brute-force pairs, per-key tables, the
+    sequential executor) are only meaningful while the reference side stays
+    un-optimized: no ``einsum``/``bincount`` batching, no ``workspace=``
+    buffer pooling, no imports from the fast-path modules.
+    """
+
+    rule_id = "RL001"
+    slug = "golden"
+    description = "golden reference sites must not grow fast-path idioms"
+
+    _BANNED_CALL_TAILS = frozenset({"einsum", "bincount"})
+
+    def applies(self, parsed: ParsedFile) -> bool:
+        return any(
+            parsed.rel_path.endswith(site.path_suffix) for site in contracts.GOLDEN_SITES
+        )
+
+    def _regions(self, parsed: ParsedFile):
+        for site in contracts.GOLDEN_SITES:
+            if not parsed.rel_path.endswith(site.path_suffix):
+                continue
+            if site.qualname is None:
+                yield site, parsed.tree
+                continue
+            for qualname, node in parsed.functions + parsed.classes:
+                if qualname == site.qualname:
+                    yield site, node
+
+    def check(self, parsed: ParsedFile):
+        for site, region in self._regions(parsed):
+            where = site.qualname or "module"
+            for node in ast.walk(region):
+                yield from self._check_node(node, where)
+
+    def _check_node(self, node: ast.AST, where: str):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is not None:
+                tail = name.rsplit(".", 1)[-1]
+                if tail in self._BANNED_CALL_TAILS or name in contracts.FAST_PATH_NAMES:
+                    yield (
+                        node.lineno,
+                        f"golden site {where} calls fast-path idiom {name}()",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg == "workspace":
+                    yield (
+                        node.lineno,
+                        f"golden site {where} passes a workspace= buffer pool",
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            every = args.posonlyargs + args.args + args.kwonlyargs
+            if any(arg.arg == "workspace" for arg in every):
+                yield (
+                    node.lineno,
+                    f"golden site {where} grew a workspace parameter on {node.name}()",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if _last_component(node.module) in contracts.FAST_PATH_MODULES:
+                yield (
+                    node.lineno,
+                    f"golden site {where} imports fast-path module {node.module or '.'}",
+                )
+            else:
+                for alias in node.names:
+                    if alias.name in contracts.FAST_PATH_NAMES:
+                        yield (
+                            node.lineno,
+                            f"golden site {where} imports fast-path name {alias.name}",
+                        )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if _last_component(alias.name) in contracts.FAST_PATH_MODULES:
+                    yield (
+                        node.lineno,
+                        f"golden site {where} imports fast-path module {alias.name}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL002 — hot-path allocation
+# ---------------------------------------------------------------------------
+
+
+class HotPathAllocationRule(Rule):
+    """Registered per-step hot paths must not call allocating constructors.
+
+    The static complement of ``bench_run_loop.py``'s zero-allocation budget:
+    ``np.zeros/empty/...``, ``np.ufunc.at`` scalar scatters and out-less
+    ``.astype`` casts are flagged inside any function carrying the
+    ``# reprolint: hot-path`` marker, unless the line carries an
+    ``allow[alloc]`` pragma with a written reason (reference branches,
+    empty-pair early-outs).
+    """
+
+    rule_id = "RL002"
+    slug = "alloc"
+    description = "registered hot paths must stay allocation-free"
+
+    def check(self, parsed: ParsedFile):
+        for qualname, func in parsed.hot_path_functions():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(node, qualname)
+
+    def _check_call(self, node: ast.Call, qualname: str):
+        # .astype is matched structurally: the receiver may be any expression
+        # (a chained reshape, a subscript), which a dotted-name resolve misses
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            if not self._copy_false(node):
+                yield (
+                    node.lineno,
+                    f"hot path {qualname} performs an out-less .astype() copy",
+                )
+            return
+        name = call_name(node)
+        if name is None:
+            return
+        parts = name.split(".")
+        tail = parts[-1]
+        if (
+            is_numpy_root(name)
+            and len(parts) == 2
+            and tail in contracts.ALLOCATING_CONSTRUCTORS
+        ):
+            yield (
+                node.lineno,
+                f"hot path {qualname} allocates via {name}() every call",
+            )
+        elif is_numpy_root(name) and len(parts) == 3 and tail == "at":
+            yield (
+                node.lineno,
+                f"hot path {qualname} uses the {name} scalar scatter loop "
+                "(use the bincount scatter_add_* idiom)",
+            )
+
+    @staticmethod
+    def _copy_false(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
+                return keyword.value.value is False
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RL003 — backend purity
+# ---------------------------------------------------------------------------
+
+
+class BackendPurityRule(Rule):
+    """``EngineBackend`` implementations must stay thin.
+
+    The PR 4 invariant: the step sequence, report assembly, trajectory
+    capture and thermostat *scheduling* have exactly one implementation site
+    (``md/stepping.py``).  A backend that grows its own stepping loop,
+    constructs a ``SimulationReport`` or captures trajectory frames forks the
+    run loop and silently un-pins the cross-rank parity suite.
+    """
+
+    rule_id = "RL003"
+    slug = "backend"
+    description = "EngineBackend implementations must not grow run-loop features"
+
+    _LOOP_DRIVERS = frozenset(
+        {"integrate_first_half", "integrate_second_half", "compute_forces"}
+    )
+
+    def applies(self, parsed: ParsedFile) -> bool:
+        return not parsed.rel_path.endswith("repro/md/stepping.py")
+
+    def check(self, parsed: ParsedFile):
+        for class_qualname, cls in parsed.classes:
+            if not self._is_backend(cls):
+                continue
+            yield from self._check_backend(cls, class_qualname)
+
+    @staticmethod
+    def _is_backend(cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name is not None and name.rsplit(".", 1)[-1] == "EngineBackend":
+                return True
+        return False
+
+    def _check_backend(self, cls: ast.ClassDef, class_qualname: str):
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.For, ast.While)):
+                driver = self._loop_driver_call(node)
+                if driver is not None:
+                    yield (
+                        node.lineno,
+                        f"backend {class_qualname} drives {driver}() from its own "
+                        "loop; the stepping sequence lives only in md/stepping.py",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and name.rsplit(".", 1)[-1] == "SimulationReport":
+                    yield (
+                        node.lineno,
+                        f"backend {class_qualname} assembles a SimulationReport; "
+                        "report assembly belongs to SteppingLoop",
+                    )
+                elif name is not None and name.endswith("trajectory.append"):
+                    yield (
+                        node.lineno,
+                        f"backend {class_qualname} captures trajectory frames; "
+                        "capture cadence belongs to SteppingLoop",
+                    )
+        yield from self._check_thermostat_calls(cls, class_qualname)
+
+    def _loop_driver_call(self, loop: ast.AST) -> str | None:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and name.rsplit(".", 1)[-1] in self._LOOP_DRIVERS:
+                    return name.rsplit(".", 1)[-1]
+        return None
+
+    @staticmethod
+    def _check_thermostat_calls(cls: ast.ClassDef, class_qualname: str):
+        """``thermostat.apply`` may only run inside the protocol hook."""
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name.endswith("apply_thermostat"):
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name is not None and name.endswith("thermostat.apply"):
+                        yield (
+                            node.lineno,
+                            f"backend {class_qualname}.{method.name} applies the "
+                            "thermostat outside the apply_thermostat hook",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# RL004 — fixed-order reductions
+# ---------------------------------------------------------------------------
+
+
+class FixedOrderReductionRule(Rule):
+    """No iteration over set-typed collections in the parallel package.
+
+    The PR 7 bitwise invariant: every gather/reduction iterates ranks in
+    fixed index order.  A ``for`` loop (or comprehension) over a ``set`` /
+    ``frozenset`` has hash order, which varies across processes — wrap the
+    collection in ``sorted(...)`` or keep it a list.
+    """
+
+    rule_id = "RL004"
+    slug = "order"
+    description = "parallel-package loops must not iterate unordered sets"
+
+    def applies(self, parsed: ParsedFile) -> bool:
+        return contracts.in_parallel_package(parsed.rel_path)
+
+    def check(self, parsed: ParsedFile):
+        # module level plus each function scope gets its own set-name table
+        scopes: list[ast.AST] = [parsed.tree] + [node for _, node in parsed.functions]
+        for scope in scopes:
+            set_names = self._set_assigned_names(scope)
+            for node in self._own_nodes(scope):
+                iterables = []
+                if isinstance(node, ast.For):
+                    iterables.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iterables.extend(gen.iter for gen in node.generators)
+                for iterable in iterables:
+                    if self._is_set_expr(iterable, set_names):
+                        yield (
+                            iterable.lineno,
+                            "iteration over an unordered set; reductions must run "
+                            "in fixed rank order (wrap in sorted(...))",
+                        )
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST):
+        """Walk ``scope`` without descending into nested function scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _set_assigned_names(cls, scope: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in cls._own_nodes(scope):
+            if isinstance(node, ast.Assign) and cls._is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, set_names: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            return name in ("set", "frozenset")
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RL005 — dtype discipline
+# ---------------------------------------------------------------------------
+
+
+class DtypeDisciplineRule(Rule):
+    """Low-precision dtypes appear only at the sanctioned policy boundary.
+
+    The PR 6 contract: everything between the fp64 environment build and the
+    fp64 reductions runs at ``PrecisionPolicy.compute_dtype`` — production
+    code outside ``precision.py``/``compression.py``/``gemm.py`` must not
+    hard-code ``np.float32``/``np.float16`` (a literal there either forks the
+    policy or silently downgrades an accumulation).
+    """
+
+    rule_id = "RL005"
+    slug = "dtype"
+    description = "low-precision dtype literals only at the policy boundary"
+
+    def applies(self, parsed: ParsedFile) -> bool:
+        return contracts.in_production_tree(parsed.rel_path) and not (
+            contracts.is_dtype_sanctioned(parsed.rel_path)
+        )
+
+    def check(self, parsed: ParsedFile):
+        for node in ast.walk(parsed.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in contracts.LOW_PRECISION_ATTRS
+            ):
+                root = dotted_name(node)
+                if root is not None and is_numpy_root(root):
+                    yield (
+                        node.lineno,
+                        f"low-precision dtype literal {root} outside the "
+                        "sanctioned precision-policy modules",
+                    )
+
+
+ALL_RULES = (
+    GoldenFreezeRule,
+    HotPathAllocationRule,
+    BackendPurityRule,
+    FixedOrderReductionRule,
+    DtypeDisciplineRule,
+)

@@ -19,7 +19,6 @@ model (see DESIGN.md for the substitution rationale).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-import math
 
 import numpy as np
 

@@ -13,7 +13,7 @@ and III) run the decomposition + machine model through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,9 +37,8 @@ from ..parallel.topology import RankTopology
 from ..perfmodel.comm_cost import CommCostModel
 from ..perfmodel.strongscaling import parallel_efficiency
 from ..perfmodel.kernels import KernelCostModel
-from ..units import ns_per_day
 from ..utils.tables import Table
-from .config import FIG9_STAGES, baseline_config, fig9_stage_configs, optimized_config
+from .config import baseline_config, fig9_stage_configs, optimized_config
 from .engine import DeepMDEngine
 from .systems import copper_spec, get_system, water_spec
 

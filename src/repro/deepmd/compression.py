@@ -238,6 +238,7 @@ class TabulatedEmbeddingSet:
             )
         return np.where(valid, slots, 0)
 
+    # reprolint: hot-path
     def evaluate_batched(
         self,
         slots: np.ndarray,
@@ -288,18 +289,18 @@ class TabulatedEmbeddingSet:
         m = self.width
         n_flat = len(flat_s)
         clamped = np.clip(flat_s, grid[0], grid[-1])
-        idx = np.minimum((clamped - grid[0]) / self._h, len(grid) - 2).astype(int)
+        idx = np.minimum((clamped - grid[0]) / self._h, len(grid) - 2).astype(int)  # reprolint: allow[alloc] fp64 node placement must produce a fresh int index array
         t_all = ((clamped - grid[idx]) / self._h)[:, None]
         if dt != np.dtype(np.float64):
-            t_all = t_all.astype(dt)
+            t_all = t_all.astype(dt)  # reprolint: allow[alloc] one (n,1) downcast per call at the precision boundary
         base = flat_slots * len(grid) + idx
 
         if (out_values is None) != (out_derivatives is None):
             raise ValueError("out_values and out_derivatives must be provided together")
         shape = (*s_arr.shape, m)
         if out_values is None:
-            values = np.empty((n_flat, m), dtype=dt)
-            derivs = np.empty((n_flat, m), dtype=dt)
+            values = np.empty((n_flat, m), dtype=dt)  # reprolint: allow[alloc] out-less reference branch; the workspace path passes buffers
+            derivs = np.empty((n_flat, m), dtype=dt)  # reprolint: allow[alloc] out-less reference branch; the workspace path passes buffers
         else:
             if out_values.dtype != dt or out_derivatives.dtype != dt:
                 raise ValueError(f"out buffers must match the compute dtype {dt}")
@@ -319,7 +320,7 @@ class TabulatedEmbeddingSet:
             t = t_all[lo:hi]
             t2 = t * t
             t3 = t2 * t
-            value_weights = np.concatenate(
+            value_weights = np.concatenate(  # reprolint: allow[alloc] per-chunk (rows,4) basis block, cache-resident by design
                 [
                     2.0 * t3 - 3.0 * t2 + 1.0,  # h00 -> y0
                     t3 - 2.0 * t2 + t,  # h10 -> h*d0
@@ -328,7 +329,7 @@ class TabulatedEmbeddingSet:
                 ],
                 axis=1,
             )
-            deriv_weights = np.concatenate(
+            deriv_weights = np.concatenate(  # reprolint: allow[alloc] per-chunk (rows,4) basis block, cache-resident by design
                 [
                     (6.0 * t2 - 6.0 * t) / h,
                     (3.0 * t2 - 4.0 * t + 1.0) / h,

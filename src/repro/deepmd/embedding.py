@@ -16,7 +16,7 @@ import numpy as np
 
 from ..nnframework.layers import MLP
 from ..nnframework.tensor import Tensor
-from ..utils.rng import default_rng, spawn_rngs
+from ..utils.rng import spawn_rngs
 from .networks import FastMLP
 
 

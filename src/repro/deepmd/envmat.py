@@ -136,7 +136,6 @@ def build_local_environment(
         raise ValueError("require 0 < cutoff_smooth < cutoff")
     n = len(atoms)
     nei = neighbors.neighbors
-    counts = neighbors.counts
     n_pad = nei.shape[1] if max_neighbors is None else int(max_neighbors)
     n_pad = max(n_pad, 1)
 

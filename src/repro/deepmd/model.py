@@ -24,15 +24,15 @@ displacements → atoms), so the equivalence of the two paths is testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..md.atoms import Atoms
 from ..md.box import Box
 from ..md.neighbor import NeighborData
+from ..md.workspace import scatter_add_vectors
 from ..nnframework.session import Session
-from ..nnframework.tensor import Tensor
 from ..utils.rng import default_rng
 from .compression import TabulatedEmbeddingSet
 from .descriptor import build_descriptor_graph, raw_descriptors
@@ -233,6 +233,7 @@ class DeepPotential:
     # ---------------------------------------------------------------------------
     # Optimized, framework-free evaluation
     # ---------------------------------------------------------------------------
+    # reprolint: hot-path
     def evaluate(
         self,
         atoms: Atoms,
@@ -267,9 +268,9 @@ class DeepPotential:
             forces = workspace.zeros("dp.forces", (n, 3))
             virial = workspace.zeros("dp.virial", (3, 3))
         else:
-            per_atom = np.zeros(n)
-            forces = np.zeros((n, 3))
-            virial = np.zeros((3, 3))
+            per_atom = np.zeros(n)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            forces = np.zeros((n, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            virial = np.zeros((3, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
 
         for ti in range(self.n_types):
             idx = np.nonzero(env.types == ti)[0]
@@ -298,6 +299,7 @@ class DeepPotential:
             virial=virial,
         )
 
+    # reprolint: hot-path
     def _per_type_fast(
         self,
         env: LocalEnvironment,
@@ -360,7 +362,7 @@ class DeepPotential:
                     slots, s_valid, out_values=g_valid, out_derivatives=dg_valid, dtype=cd
                 )
             else:
-                g = np.empty(g_shape, dtype=cd)
+                g = np.empty(g_shape, dtype=cd)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
                 g_valid, dg_valid = table.evaluate_batched(slots, s_valid, dtype=cd)
             # dG/ds stays compact: only G must be dense for the descriptor
             # contraction (padded rows exactly zero, as the loop left them)
@@ -371,7 +373,7 @@ class DeepPotential:
             if workspace is not None:
                 g = workspace.zeros(f"dp.emb.g.{center_type}", g_shape, dtype=cd)
             else:
-                g = np.zeros(g_shape, dtype=cd)
+                g = np.zeros(g_shape, dtype=cd)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
             for tj in np.unique(sub.neighbor_types):
                 if tj < 0:
                     continue
@@ -396,14 +398,14 @@ class DeepPotential:
         energies = fit_net.forward(d_std, backend=backend, dtypes=fit_dtypes, cache=True)
         if mixed:
             # the per-atom energy accumulation (bias add onwards) is float64
-            energies = energies.reshape(batch).astype(np.float64) + self.energy_bias[center_type]
+            energies = energies.reshape(batch).astype(np.float64) + self.energy_bias[center_type]  # reprolint: allow[alloc] one tiny (B,) upcast per step at the fp64 accumulation boundary
         else:
             energies = energies.reshape(batch) + self.energy_bias[center_type]
         if workspace is not None:
             ones = workspace.buffer(f"dp.fit.ones.{center_type}", (batch, 1), dtype=cd)
             ones.fill(1.0)
         else:
-            ones = np.ones((batch, 1), dtype=cd)
+            ones = np.ones((batch, 1), dtype=cd)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
         grad_dstd = fit_net.backward_input(ones, backend=backend, dtypes=fit_dtypes)
         grad_dflat = grad_dstd / std
         grad_d = grad_dflat.reshape(batch, m_width, m2)
@@ -421,13 +423,13 @@ class DeepPotential:
             if workspace is not None:
                 grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei), dtype=cd)
             else:
-                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)
+                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
             grad_s_embed[valid] = np.einsum("nm,nm->n", grad_g[valid], dg_valid)
         else:
             if workspace is not None:
                 grad_s_embed = workspace.zeros(f"dp.emb.grad_s.{center_type}", (batch, n_nei), dtype=cd)
             else:
-                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)
+                grad_s_embed = np.zeros((batch, n_nei), dtype=cd)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
             for tj, (sel, cache) in group_cache.items():
                 net = fast_emb[(center_type, tj)]
                 net._cache = cache
@@ -555,18 +557,21 @@ class DeepPotential:
         return g_d * mask[..., None]
 
     @staticmethod
+    # reprolint: hot-path
     def _scatter_forces(forces: np.ndarray, atom_indices: np.ndarray, sub: LocalEnvironment, g_d: np.ndarray) -> None:
         """Accumulate forces from the displacement gradients.
 
         The energy of centre i depends on d_ij = r_j - r_i, so
-        F_j -= dE_i/dd_ij and F_i += dE_i/dd_ij.
+        F_j -= dE_i/dd_ij and F_i += dE_i/dd_ij.  The scatter runs through
+        the bincount reduction (:func:`scatter_add_vectors`), not
+        ``np.add.at`` — both evaluation paths share this chain, so the
+        path-equivalence tests see identical accumulation on both sides.
         """
         batch, n_nei = sub.s.shape
         valid = sub.mask > 0.0
         centers = np.repeat(np.asarray(atom_indices), n_nei).reshape(batch, n_nei)
         neighbor_ids = sub.neighbor_indices
-        np.add.at(forces, centers[valid], g_d[valid])
-        np.add.at(forces, neighbor_ids[valid], -g_d[valid])
+        scatter_add_vectors(forces, centers[valid], neighbor_ids[valid], g_d[valid])
 
     # ---------------------------------------------------------------------------
     # Descriptor statistics helper (used by the trainer)

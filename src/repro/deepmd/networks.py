@@ -134,7 +134,7 @@ class FastMLP:
         arithmetic, which is preserved bit-for-bit.
         """
         x = np.atleast_2d(np.asarray(x))
-        if x.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):
+        if x.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):  # reprolint: allow[dtype] dtype guard only; casts are governed by PrecisionPolicy
             x = x.astype(np.float64, copy=False)
         backend = backend or GemmBackend()
         cache_entries: list[dict] = []
@@ -184,7 +184,7 @@ class FastMLP:
             raise RuntimeError("forward(cache=True) must run before backward_input")
         backend = backend or GemmBackend()
         grad = np.atleast_2d(np.asarray(grad_output))
-        if grad.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):
+        if grad.dtype not in (np.dtype(np.float32), np.dtype(np.float16)):  # reprolint: allow[dtype] dtype guard only; casts are governed by PrecisionPolicy
             grad = grad.astype(np.float64, copy=False)
         for li in range(len(self.layers) - 1, -1, -1):
             layer = self.layers[li]

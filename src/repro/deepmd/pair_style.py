@@ -8,8 +8,6 @@ policy, the GEMM backend and optionally the compressed embedding tables.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..md.atoms import Atoms
 from ..md.box import Box
 from ..md.forcefields.base import ForceField, ForceResult

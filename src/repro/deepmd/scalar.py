@@ -212,8 +212,8 @@ def evaluate_scalar(
         grad_d = (grad_dstd / std).reshape(m_width, m2)
 
         # --- descriptor backward: dE/dA, then per-neighbour dE/dR, dE/dG
-        grad_a = np.einsum("kq,mq->km", a_axis, grad_d)
-        grad_a[:, :m2] += np.einsum("km,mq->kq", a, grad_d)
+        grad_a = np.einsum("kq,mq->km", a_axis, grad_d)  # reprolint: allow[golden] frozen descriptor-backward formulation the fast path is pinned against
+        grad_a[:, :m2] += np.einsum("km,mq->kq", a, grad_d)  # reprolint: allow[golden] frozen descriptor-backward formulation the fast path is pinned against
 
         for k in range(n_nei):
             if env.mask[i, k] <= 0.0:

@@ -9,7 +9,7 @@ same arrays into local/ghost groups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -65,6 +65,7 @@ class LennardJones(ForceField):
         np.add.at(per_atom, pairs[:, 1], 0.5 * pair_energy)
         return ForceResult(float(pair_energy.sum()), forces, per_atom)
 
+    # reprolint: hot-path
     def _compute_workspace(self, atoms: Atoms, box: Box, neighbors: NeighborData, w) -> ForceResult:
         """The preallocated hot path: same per-pair arithmetic as the
         reference ``compute`` above, staged through workspace buffers.

@@ -74,6 +74,7 @@ class MorsePotential(ForceField):
         np.add.at(per_atom, pairs[:, 1], 0.5 * energy)
         return ForceResult(float(energy.sum()), forces, per_atom)
 
+    # reprolint: hot-path
     def _compute_workspace(self, atoms: Atoms, box: Box, neighbors: NeighborData, w) -> ForceResult:
         """Preallocated hot path: masked per-pair arithmetic (skin pairs
         multiply to exact zero) over workspace buffers, bincount scatter."""

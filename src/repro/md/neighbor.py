@@ -93,7 +93,7 @@ def _brute_force_pairs(positions: np.ndarray, box: Box, cutoff: float) -> tuple[
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     delta = positions[:, None, :] - positions[None, :, :]
     delta = box.minimum_image(delta)
-    dist2 = np.einsum("ijk,ijk->ij", delta, delta)
+    dist2 = np.einsum("ijk,ijk->ij", delta, delta)  # reprolint: allow[golden] the O(N^2) reference keeps its original distance arithmetic
     iu, ju = np.triu_indices(n, k=1)
     mask = dist2[iu, ju] <= cutoff * cutoff
     return iu[mask].astype(np.int64), ju[mask].astype(np.int64)
@@ -252,9 +252,9 @@ def _cell_list_pairs(positions: np.ndarray, box: Box, cutoff: float) -> tuple[np
     max_abs = max(1.0, float(np.max(np.abs(frac_sorted))))
     f32_error = 8.0 * max_abs * 2.0**-23 * float(lengths.max())
     if f32_error <= 0.05 * cutoff:
-        frac = frac_sorted.astype(np.float32)
-        slack = np.float32((cutoff + f32_error) * (cutoff + f32_error))
-        lengths_sq = (lengths * lengths).astype(np.float32)
+        frac = frac_sorted.astype(np.float32)  # reprolint: allow[dtype] fp32 prefilter guarded by the rigorous error bound above
+        slack = np.float32((cutoff + f32_error) * (cutoff + f32_error))  # reprolint: allow[dtype] fp32 prefilter guarded by the rigorous error bound above
+        lengths_sq = (lengths * lengths).astype(np.float32)  # reprolint: allow[dtype] fp32 prefilter guarded by the rigorous error bound above
     else:
         # degenerate geometry (atoms astronomically far outside the box):
         # prefilter in fp64 with the matching, much smaller error bound

@@ -169,6 +169,7 @@ class SteppingLoop:
 
     backend: EngineBackend
 
+    # reprolint: hot-path
     def run(
         self,
         n_steps: int,

@@ -133,6 +133,7 @@ class Workspace:
         self._capacities.clear()
 
 
+# reprolint: hot-path
 def scatter_add_vectors(
     out: np.ndarray,
     index_add: np.ndarray,
@@ -153,6 +154,7 @@ def scatter_add_vectors(
     return out
 
 
+# reprolint: hot-path
 def scatter_add_scalars(out: np.ndarray, index: np.ndarray, values: np.ndarray) -> np.ndarray:
     """``out[index] += values`` via one ``np.bincount`` reduction."""
     out += np.bincount(index, weights=values, minlength=out.shape[0])

@@ -391,7 +391,7 @@ class _DensityEvaluator(_RankEvaluator):
             pairs = pairs[touches_owned]
         domain.scratch["density_pairs"] = pairs
 
-    def prepare(self, domain: RankDomain) -> np.ndarray:
+    def prepare(self, domain: RankDomain) -> np.ndarray:  # reprolint: hot-path
         engine = self.engine
         force_field = engine.force_field
         pairs = domain.scratch["density_pairs"]
@@ -405,31 +405,28 @@ class _DensityEvaluator(_RankEvaluator):
             mask = r <= force_field.cutoff
             pairs, delta, r = pairs[mask], delta[mask], r[mask]
         else:
-            delta = np.empty((0, 3))
-            r = np.empty(0)
+            delta = np.empty((0, 3))  # reprolint: allow[alloc] empty-pair-list early-out, not the steady-state path
+            r = np.empty(0)  # reprolint: allow[alloc] empty-pair-list early-out, not the steady-state path
 
         if len(pairs):
             repulsion, density_pair, drep_dr, drho_dr = force_field.pair_terms(r)
         else:
-            repulsion = density_pair = drep_dr = drho_dr = np.empty(0)
+            repulsion = density_pair = drep_dr = drho_dr = np.empty(0)  # reprolint: allow[alloc] empty-pair-list early-out, not the steady-state path
 
         workspace = domain.workspace
         if workspace is not None:
             rep_atom = workspace.zeros("density.rep_atom", n_local)
             rho = workspace.zeros("density.rho", n_local)
-            if len(pairs):
-                scatter_add_scalars(rep_atom, pairs[:, 0], repulsion)
-                scatter_add_scalars(rep_atom, pairs[:, 1], repulsion)
-                scatter_add_scalars(rho, pairs[:, 0], density_pair)
-                scatter_add_scalars(rho, pairs[:, 1], density_pair)
         else:
-            rep_atom = np.zeros(n_local)
-            rho = np.zeros(n_local)
-            if len(pairs):
-                np.add.at(rep_atom, pairs[:, 0], repulsion)
-                np.add.at(rep_atom, pairs[:, 1], repulsion)
-                np.add.at(rho, pairs[:, 0], density_pair)
-                np.add.at(rho, pairs[:, 1], density_pair)
+            rep_atom = np.zeros(n_local)  # reprolint: allow[alloc] workspace-less fallback allocates per call by design
+            rho = np.zeros(n_local)  # reprolint: allow[alloc] workspace-less fallback allocates per call by design
+        if len(pairs):
+            # Both branches scatter through the bincount reduction: the
+            # workspace toggle changes buffer reuse only, never arithmetic.
+            scatter_add_scalars(rep_atom, pairs[:, 0], repulsion)
+            scatter_add_scalars(rep_atom, pairs[:, 1], repulsion)
+            scatter_add_scalars(rho, pairs[:, 0], density_pair)
+            scatter_add_scalars(rho, pairs[:, 1], density_pair)
 
         sqrt_rho, inv_sqrt = force_field.embedding_terms(rho)
         per_atom = rep_atom - sqrt_rho
@@ -443,7 +440,7 @@ class _DensityEvaluator(_RankEvaluator):
         # replaced by the owner-computed values the halo exchange delivers.
         return inv_sqrt[: domain.n_owned]
 
-    def finish(self, domain: RankDomain, halo: np.ndarray | None):
+    def finish(self, domain: RankDomain, halo: np.ndarray | None):  # reprolint: hot-path
         scratch = domain.scratch
         inv_sqrt = scratch["inv_sqrt"]
         if domain.n_ghost:
@@ -454,7 +451,7 @@ class _DensityEvaluator(_RankEvaluator):
         if workspace is not None:
             forces = workspace.zeros("density.forces", (domain.n_local, 3))
         else:
-            forces = np.zeros((domain.n_local, 3))
+            forces = np.zeros((domain.n_local, 3))  # reprolint: allow[alloc] workspace-less fallback allocates per call by design
         if len(pairs):
             keep = _owner_computed_mask(pairs, domain.local_gids, domain.n_owned)
             pairs = pairs[keep]
@@ -464,11 +461,9 @@ class _DensityEvaluator(_RankEvaluator):
                 drep_dr, drho_dr, inv_sqrt[pairs[:, 0]], inv_sqrt[pairs[:, 1]]
             )
             pair_forces = (-dE_dr / r)[:, None] * delta
-            if workspace is not None:
-                scatter_add_vectors(forces, pairs[:, 0], pairs[:, 1], pair_forces)
-            else:
-                np.add.at(forces, pairs[:, 0], pair_forces)
-                np.add.at(forces, pairs[:, 1], -pair_forces)
+            # Bincount scatter in both workspace modes — the toggle changes
+            # buffer reuse only, never arithmetic.
+            scatter_add_vectors(forces, pairs[:, 0], pairs[:, 1], pair_forces)
         return scratch["energy"], forces, None
 
 

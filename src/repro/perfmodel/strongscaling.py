@@ -20,7 +20,6 @@ def parallel_efficiency(ns_day: Sequence[float], nodes: Sequence[int]) -> list[f
     base_nodes, base_perf = pairs[0]
     if base_perf <= 0 or base_nodes <= 0:
         raise ValueError("baseline performance and node count must be positive")
-    ordering = {n: i for i, (n, _) in enumerate(pairs)}
     efficiencies = [0.0] * len(ns_day)
     for n, perf in zip(nodes, ns_day):
         eff = (perf / base_perf) / (n / base_nodes)

@@ -8,8 +8,6 @@ experiments are reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Iterable
-
 import numpy as np
 
 RngLike = "int | np.random.Generator | None"

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.deepmd import DeepPotential, DeepPotentialConfig, Trainer, generate_copper_dataset

@@ -1,0 +1,420 @@
+"""reprolint self-test corpus: every rule fires on seeded violations.
+
+Each case lints an in-memory snippet through :func:`lint_source` under a
+synthetic path chosen to land inside (or outside) the rule's scope, and
+asserts the exact ``rule_id`` and line number — then shows the matching
+``allow[...]`` pragma suppressing it.  The final test runs the real linter
+over the real tree: the production source must stay clean.
+"""
+
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.reprolint import FRAMEWORK_RULE_ID
+
+GOLDEN_MODULE_PATH = "src/repro/deepmd/scalar.py"
+GOLDEN_FUNC_PATH = "src/repro/md/neighbor.py"
+GOLDEN_CLASS_PATH = "src/repro/parallel/executor.py"
+HOT_PATH = "src/repro/md/forcefields/fake.py"
+BACKEND_PATH = "src/repro/parallel/fake_engine.py"
+PARALLEL_PATH = "src/repro/parallel/fake_reduce.py"
+PRODUCTION_PATH = "src/repro/md/fake_field.py"
+
+
+def lint(source: str, path: str):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def fired(violations, rule_id: str):
+    return [v for v in violations if v.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — golden-freeze
+# ---------------------------------------------------------------------------
+
+
+def test_rl001_einsum_in_frozen_module_fires_with_line():
+    violations = lint(
+        """\
+        import numpy as np
+
+        def reference(a, b):
+            return np.einsum("ij,ij->i", a, b)
+        """,
+        GOLDEN_MODULE_PATH,
+    )
+    (violation,) = fired(violations, "RL001")
+    assert violation.line == 4
+    assert "einsum" in violation.message
+    assert violation.format().startswith(f"{GOLDEN_MODULE_PATH}:4: RL001")
+
+
+def test_rl001_scoped_to_the_declared_function_only():
+    source = """\
+        import numpy as np
+
+        def _brute_force_pairs(positions):
+            return np.bincount(positions)
+
+        def binned_build(positions):
+            return np.bincount(positions)
+        """
+    violations = fired(lint(source, GOLDEN_FUNC_PATH), "RL001")
+    assert [v.line for v in violations] == [4]
+
+
+def test_rl001_workspace_parameter_and_kwarg_fire():
+    violations = fired(
+        lint(
+            """\
+            class SequentialRankExecutor:
+                def run(self, engine, workspace=None):
+                    return engine.compute(workspace=workspace)
+            """,
+            GOLDEN_CLASS_PATH,
+        ),
+        "RL001",
+    )
+    assert {v.line for v in violations} == {2, 3}
+
+
+def test_rl001_fast_path_import_fires():
+    violations = fired(
+        lint(
+            """\
+            from ..md.workspace import scatter_add_vectors
+            """,
+            GOLDEN_MODULE_PATH,
+        ),
+        "RL001",
+    )
+    assert [v.line for v in violations] == [1]
+
+
+def test_rl001_pragma_with_reason_suppresses():
+    violations = lint(
+        """\
+        import numpy as np
+
+        def reference(a, b):
+            return np.einsum("ij,ij->i", a, b)  # reprolint: allow[golden] frozen formulation
+        """,
+        GOLDEN_MODULE_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — hot-path allocation
+# ---------------------------------------------------------------------------
+
+
+def test_rl002_marked_function_flags_alloc_scatter_and_astype():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            # reprolint: hot-path
+            def compute(pairs, values, n):
+                out = np.zeros(n)
+                np.add.at(out, pairs, values)
+                return out.reshape(-1, 1).astype(np.float64)
+            """,
+            HOT_PATH,
+        ),
+        "RL002",
+    )
+    assert [v.line for v in violations] == [5, 6, 7]
+    assert "np.zeros" in violations[0].message
+    assert "bincount" in violations[1].message
+    assert ".astype" in violations[2].message
+
+
+def test_rl002_unmarked_function_is_not_checked():
+    violations = lint(
+        """\
+        import numpy as np
+
+        def setup(n):
+            return np.zeros(n)
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+def test_rl002_marker_on_def_line_registers_too():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            def compute(n):  # reprolint: hot-path
+                return np.empty(n)
+            """,
+            HOT_PATH,
+        ),
+        "RL002",
+    )
+    assert [v.line for v in violations] == [4]
+
+
+def test_rl002_copy_false_astype_is_a_view_request_not_an_alloc():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(x):
+            return x.astype(np.float64, copy=False)
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+def test_rl002_pragma_with_reason_suppresses():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return np.zeros(n)  # reprolint: allow[alloc] reference branch allocates by design
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — backend purity
+# ---------------------------------------------------------------------------
+
+_IMPURE_BACKEND = """\
+    class FastBackend(EngineBackend):
+        def sprint(self, n_steps):
+            for _ in range(n_steps):
+                self.integrate_first_half()
+
+        def report(self):
+            return SimulationReport(n_steps=1)
+
+        def snapshot(self):
+            self.trajectory.append(self.positions.copy())
+
+        def nudge(self):
+            self.thermostat.apply(self, 0.1)
+
+        def apply_thermostat(self):
+            self.thermostat.apply(self, 0.1)
+    """
+
+
+def test_rl003_backend_with_run_loop_features_fires_per_feature():
+    violations = fired(lint(_IMPURE_BACKEND, BACKEND_PATH), "RL003")
+    assert [v.line for v in violations] == [3, 7, 10, 13]
+    # the protocol hook itself (apply_thermostat, line 16) stays legal
+
+
+def test_rl003_plain_class_is_not_a_backend():
+    violations = lint(
+        """\
+        class Helper:
+            def sprint(self, n_steps):
+                for _ in range(n_steps):
+                    self.integrate_first_half()
+        """,
+        BACKEND_PATH,
+    )
+    assert violations == []
+
+
+def test_rl003_stepping_module_is_exempt():
+    assert lint(_IMPURE_BACKEND, "src/repro/md/stepping.py") == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — fixed-order reductions
+# ---------------------------------------------------------------------------
+
+
+def test_rl004_set_iteration_fires_in_parallel_package():
+    violations = fired(
+        lint(
+            """\
+            def gather(results_by_rank):
+                total = 0.0
+                for rank in set(results_by_rank):
+                    total += results_by_rank[rank]
+                return total
+            """,
+            PARALLEL_PATH,
+        ),
+        "RL004",
+    )
+    assert [v.line for v in violations] == [3]
+
+
+def test_rl004_tracks_names_assigned_a_set():
+    violations = fired(
+        lint(
+            """\
+            def gather(ranks):
+                pending = set(ranks)
+                return [r for r in pending]
+            """,
+            PARALLEL_PATH,
+        ),
+        "RL004",
+    )
+    assert [v.line for v in violations] == [3]
+
+
+def test_rl004_sorted_iteration_is_fixed_order():
+    violations = lint(
+        """\
+        def gather(ranks):
+            return [r for r in sorted(set(ranks))]
+        """,
+        PARALLEL_PATH,
+    )
+    assert violations == []
+
+
+def test_rl004_does_not_apply_outside_parallel():
+    violations = lint(
+        """\
+        def gather(ranks):
+            return [r for r in set(ranks)]
+        """,
+        PRODUCTION_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — dtype discipline
+# ---------------------------------------------------------------------------
+
+
+def test_rl005_low_precision_literal_fires_in_production():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            def pack(x):
+                return x.astype(np.float32)
+            """,
+            PRODUCTION_PATH,
+        ),
+        "RL005",
+    )
+    assert [v.line for v in violations] == [4]
+
+
+def test_rl005_sanctioned_modules_and_tests_are_exempt():
+    source = """\
+        import numpy as np
+
+        DTYPE = np.float16
+        """
+    assert lint(source, "src/repro/deepmd/gemm.py") == []
+    assert lint(source, "tests/test_precision_probe.py") == []
+
+
+def test_rl005_pragma_with_reason_suppresses():
+    violations = lint(
+        """\
+        import numpy as np
+
+        def pack(x):
+            return x.astype(np.float32)  # reprolint: allow[dtype] guarded prefilter cast
+        """,
+        PRODUCTION_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RL000 — pragma hygiene (the framework polices its own escape hatch)
+# ---------------------------------------------------------------------------
+
+
+def test_rl000_reasonless_allow_is_a_violation():
+    violations = lint(
+        """\
+        import numpy as np
+
+        def reference(a, b):
+            return np.einsum("ij,ij->i", a, b)  # reprolint: allow[golden]
+        """,
+        GOLDEN_MODULE_PATH,
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "no reason" in violations[0].message
+
+
+def test_rl000_unknown_slug_is_a_violation():
+    violations = lint(
+        "x = 1  # reprolint: allow[speed] because fast\n", PRODUCTION_PATH
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "no known rule slug" in violations[0].message
+
+
+def test_rl000_stale_allow_is_a_violation():
+    violations = lint(
+        "x = 1  # reprolint: allow[alloc] nothing to suppress here\n", PRODUCTION_PATH
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "stale" in violations[0].message
+
+
+def test_rl000_unrecognised_directive_is_a_violation():
+    violations = lint("x = 1  # reprolint: ignore-all\n", PRODUCTION_PATH)
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+
+
+def test_rl000_orphan_hot_path_marker_is_a_violation():
+    violations = lint(
+        """\
+        # reprolint: hot-path
+        x = 1
+        """,
+        PRODUCTION_PATH,
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "not attached" in violations[0].message
+
+
+def test_rl000_syntax_error_is_reported_not_raised():
+    violations = lint_source("def broken(:\n", PRODUCTION_PATH)
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "syntax error" in violations[0].message
+
+
+def test_pragma_text_inside_string_literals_is_inert():
+    violations = lint(
+        '''\
+        CORPUS = """
+        np.zeros(n)  # reprolint: allow[alloc]
+        # reprolint: hot-path
+        """
+        ''',
+        PRODUCTION_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# The real tree stays clean (the CI acceptance gate)
+# ---------------------------------------------------------------------------
+
+
+def test_production_tree_is_clean():
+    violations = lint_paths(["src"])
+    assert violations == [], "\n".join(v.format() for v in violations)

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.deepmd import FastMLP, GemmBackend, build_local_environment, switching_derivative, switching_function
 from repro.deepmd.envmat import suggested_max_neighbors
-from repro.md import copper_system, water_system
 from repro.md.neighbor import build_neighbor_data
 from repro.nnframework import MLP
 

@@ -7,7 +7,6 @@ from repro.deepmd import (
     DOUBLE,
     MIX_FP16,
     MIX_FP32,
-    DeepPotential,
     DeepPotentialConfig,
     DeepPotentialForceField,
     GemmBackend,

@@ -1,6 +1,5 @@
 """Fugaku machine model: node, NoC, torus, TNIs, NIC cache."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import (

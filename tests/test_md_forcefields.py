@@ -89,7 +89,6 @@ class TestLennardJones:
         lj = LennardJones(epsilon=0.05, sigma=2.3, cutoff=5.0)
         data = build_neighbor_data(atoms.positions, box, 5.0)
         analytic = lj.compute(atoms, box, data).forces
-        subset = atoms.select(np.arange(12))  # FD on a subset box for speed
         numeric = lj.numerical_forces(atoms, box, builder(box, 5.0))
         np.testing.assert_allclose(analytic, numeric, atol=5e-6)
 

@@ -24,7 +24,6 @@ from repro.core.experiments import (
     fig7_comm_schemes,
     fig8_memory_pool,
     fig9_computation,
-    fig11_strong_scaling,
     table1_packages,
     table3_loadbalance,
 )

@@ -1,7 +1,5 @@
 """Units, constants and conversions."""
 
-import math
-
 import numpy as np
 import pytest
 
