@@ -125,6 +125,35 @@ SCALING_STEPS = 10
 SINGLE_CORE_FLOOR = 0.15
 
 
+def _visible_cores() -> int:
+    """CPU cores this process can actually run on, cgroup quotas included.
+
+    ``sched_getaffinity`` alone over-reports inside quota-limited containers
+    (CI runners typically cap CPU via the cgroup CFS quota while leaving the
+    affinity mask at the host width), which would arm the 2x strong-scaling
+    gate on a box that can only time-slice one core.  Take the minimum of the
+    affinity mask and the cgroup v2 (``cpu.max``) or v1
+    (``cpu.cfs_quota_us``/``cpu.cfs_period_us``) quota, when one is set.
+    """
+    cores = len(os.sched_getaffinity(0))
+    try:  # cgroup v2
+        with open("/sys/fs/cgroup/cpu.max") as fh:
+            quota, period = fh.read().split()[:2]
+        if quota != "max":
+            cores = min(cores, max(1, int(int(quota) / int(period))))
+    except (OSError, ValueError):
+        try:  # cgroup v1
+            with open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us") as fh:
+                quota = int(fh.read())
+            with open("/sys/fs/cgroup/cpu/cpu.cfs_period_us") as fh:
+                period = int(fh.read())
+            if quota > 0:
+                cores = min(cores, max(1, quota // period))
+        except (OSError, ValueError):
+            pass
+    return cores
+
+
 def _scaling_engine(atoms, box, executor, n_workers=None):
     return DomainDecomposedSimulation(
         atoms.copy(),
@@ -161,7 +190,7 @@ def test_bench_executor_strong_scaling():
         n_workers = concurrent._executor.pool.n_workers
 
     speedup = sequential_seconds / concurrent_seconds
-    cores = len(os.sched_getaffinity(0))
+    cores = _visible_cores()
     print(
         f"\nStrong scaling, {len(atoms)} atoms, {SCALING_STEPS} steps, 2x2x1 ranks "
         f"({cores} cores visible):"
@@ -172,15 +201,17 @@ def test_bench_executor_strong_scaling():
         f"steps/s  ({speedup:.2f}x)"
     )
     if cores >= 4 and n_workers >= 4:
+        # enough real cores for genuine concurrency: the 2x gate is armed
         assert speedup >= 2.0, (
             f"4 workers on {cores} cores reached only {speedup:.2f}x over the "
             "sequential executor (>= 2x required)"
         )
     else:
         print(
-            f"  [note] only {cores} core(s) visible: asserting the "
-            f"{SINGLE_CORE_FLOOR:.2f}x dispatch-overhead floor instead of the 2x "
-            "speedup gate"
+            f"  [note] only {cores} core(s) visible (affinity mask min cgroup "
+            f"quota): concurrency cannot beat time-slicing here, so asserting "
+            f"the {SINGLE_CORE_FLOOR:.2f}x dispatch-overhead floor instead of "
+            "the 2x speedup gate"
         )
         assert speedup >= SINGLE_CORE_FLOOR, (
             f"process-executor dispatch overhead ate {1.0 - speedup:.0%} of the "

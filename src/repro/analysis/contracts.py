@@ -25,6 +25,7 @@ __all__ = [
     "DTYPE_SANCTIONED_SUFFIXES",
     "LOW_PRECISION_ATTRS",
     "PARALLEL_SCOPE",
+    "SERVING_SCOPE",
     "PRODUCTION_SCOPE",
 ]
 
@@ -67,6 +68,11 @@ GOLDEN_SITES: tuple[GoldenSite, ...] = (
         "SequentialRankExecutor",
         "PR 7: the in-process executor the multiprocess path must match bitwise",
     ),
+    GoldenSite(
+        "repro/serving/serial.py",
+        None,
+        "PR 9: the one-system-at-a-time serving reference the batched path is pinned to at 1e-10",
+    ),
 )
 
 #: Modules whose import inside a golden site marks fast-path leakage (matched
@@ -106,6 +112,11 @@ LOW_PRECISION_ATTRS: frozenset[str] = frozenset({"float32", "float16", "half"})
 #: invariant lives in the parallel package).
 PARALLEL_SCOPE = "repro/parallel/"
 
+#: The serving package carries the same fixed-order contract (PR 9): a
+#: request's segment reductions must not depend on which companions it was
+#: batched with, so serving loops may not iterate unordered sets either.
+SERVING_SCOPE = "repro/serving/"
+
 #: Path fragment scoping production-tree-only rules (tests and benchmarks may
 #: probe dtypes freely).
 PRODUCTION_SCOPE = "repro/"
@@ -118,6 +129,10 @@ def in_production_tree(rel_path: str) -> bool:
 
 def in_parallel_package(rel_path: str) -> bool:
     return PARALLEL_SCOPE in rel_path
+
+
+def in_serving_package(rel_path: str) -> bool:
+    return SERVING_SCOPE in rel_path
 
 
 def is_dtype_sanctioned(rel_path: str) -> bool:

@@ -281,20 +281,25 @@ class BackendPurityRule(Rule):
 
 
 class FixedOrderReductionRule(Rule):
-    """No iteration over set-typed collections in the parallel package.
+    """No iteration over set-typed collections in the parallel or serving packages.
 
     The PR 7 bitwise invariant: every gather/reduction iterates ranks in
     fixed index order.  A ``for`` loop (or comprehension) over a ``set`` /
     ``frozenset`` has hash order, which varies across processes — wrap the
-    collection in ``sorted(...)`` or keep it a list.
+    collection in ``sorted(...)`` or keep it a list.  PR 9 extends the scope
+    to the serving package, whose per-system segment reductions carry the
+    same promise: a request's numbers must not depend on the iteration order
+    of whatever companions it happened to be batched with.
     """
 
     rule_id = "RL004"
     slug = "order"
-    description = "parallel-package loops must not iterate unordered sets"
+    description = "parallel/serving-package loops must not iterate unordered sets"
 
     def applies(self, parsed: ParsedFile) -> bool:
-        return contracts.in_parallel_package(parsed.rel_path)
+        return contracts.in_parallel_package(parsed.rel_path) or contracts.in_serving_package(
+            parsed.rel_path
+        )
 
     def check(self, parsed: ParsedFile):
         # module level plus each function scope gets its own set-name table

@@ -183,6 +183,10 @@ class TabulatedEmbeddingSet:
         #: regression probe that proves the table path honours the precision
         #: policy instead of silently running fp64
         self.eval_dtype_counts: dict[str, int] = {}
+        #: how many reduced-precision packed-node copies were actually built —
+        #: the cross-request cache-reuse probe of the serving engine: one
+        #: build per dtype per table, however many batches read it
+        self.packed_cache_builds = 0
 
     @staticmethod
     def _windows_over(packed: np.ndarray) -> np.ndarray:
@@ -210,6 +214,7 @@ class TabulatedEmbeddingSet:
             packed = self._packed.astype(dt)
             entry = (packed, self._windows_over(packed))
             self._packed_lp[dt] = entry
+            self.packed_cache_builds += 1
         return entry[0]
 
     def packed_dtypes(self) -> tuple[str, ...]:
@@ -255,6 +260,13 @@ class TabulatedEmbeddingSet:
         model); outputs are written in place and returned.  Outside
         ``[0, s_max]`` the value clamps to the end node and the derivative is
         zero, matching :meth:`evaluate`.
+
+        The slot indices are free-form: nothing here assumes the rows belong
+        to one system, so the serving batch path
+        (:meth:`repro.deepmd.model.DeepPotential.evaluate_many`) passes the
+        concatenated slot/s arrays of a whole multi-system batch and every
+        neighbour of every packed system interpolates in the same fused
+        gather + Hermite kernel.
 
         ``dtype`` is the compute precision of the interpolation
         (:attr:`PrecisionPolicy.compute_dtype` on the production path):

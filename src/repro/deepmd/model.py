@@ -86,7 +86,13 @@ class DeepPotentialConfig:
 
 @dataclass
 class ModelOutput:
-    """Energies and forces from one model evaluation."""
+    """Energies and forces from one model evaluation.
+
+    Shapes are well-formed for every system size, including the degenerate
+    ones serving traffic produces: a 0-atom system yields ``energy == 0.0``,
+    a ``(0,)`` per-atom energy array, ``(0, 3)`` forces and a zero ``(3, 3)``
+    virial — never ``None``-shaped or scalar-collapsed arrays.
+    """
 
     energy: float
     per_atom_energy: np.ndarray
@@ -94,6 +100,48 @@ class ModelOutput:
     precision: str
     used_framework: bool = False
     virial: np.ndarray | None = None
+
+
+@dataclass
+class BatchModelOutput:
+    """Per-system energies/forces/virials from one fused multi-system evaluation.
+
+    Produced by :meth:`DeepPotential.evaluate_many`: atoms of all systems are
+    concatenated, so ``per_atom_energy``/``forces`` are global ``(n_total,)``
+    and ``(n_total, 3)`` arrays while ``energies``/``virials`` carry one entry
+    per system (fixed-order ``bincount`` segment reductions, always float64).
+    With a workspace the arrays alias pool buffers valid until the next
+    evaluation; :meth:`split` copies them out into per-system
+    :class:`ModelOutput` objects.
+    """
+
+    energies: np.ndarray  # (S,)
+    per_atom_energy: np.ndarray  # (n_total,)
+    forces: np.ndarray  # (n_total, 3)
+    virials: np.ndarray  # (S, 3, 3)
+    offsets: np.ndarray  # (S + 1,) atom offsets of each system
+    precision: str
+
+    @property
+    def n_systems(self) -> int:
+        return len(self.energies)
+
+    def split(self) -> list[ModelOutput]:
+        """Freshly owned per-system outputs (not a hot path — copies)."""
+        outputs = []
+        for s in range(self.n_systems):
+            lo, hi = int(self.offsets[s]), int(self.offsets[s + 1])
+            outputs.append(
+                ModelOutput(
+                    energy=float(self.energies[s]),
+                    per_atom_energy=self.per_atom_energy[lo:hi].copy(),
+                    forces=self.forces[lo:hi].copy(),
+                    precision=self.precision,
+                    used_framework=False,
+                    virial=self.virials[s].copy(),
+                )
+            )
+        return outputs
 
 
 class DeepPotential:
@@ -121,6 +169,10 @@ class DeepPotential:
         #: bumped by :meth:`invalidate_kernels`; consumers holding exported
         #: kernels or tables compare it to know theirs went stale
         self.kernel_generation = 0
+        #: how many times a compressed table was actually (re)built — the
+        #: cross-request cache-reuse probe: a serving run of N requests over
+        #: one model must leave this at 1, however many batches were formed
+        self.table_cache_builds = 0
 
     # -- bookkeeping -------------------------------------------------------------
     @property
@@ -170,6 +222,7 @@ class DeepPotential:
                 self.fast_embeddings(), s_max=s_max, n_points=n_points
             )
             self._compressed_key = key
+            self.table_cache_builds += 1
         return self._compressed
 
     def active_compressed_embeddings(self) -> TabulatedEmbeddingSet:
@@ -272,6 +325,20 @@ class DeepPotential:
             forces = np.zeros((n, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
             virial = np.zeros((3, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
 
+        if n == 0:
+            # degenerate (0-atom) serving request: the contract is a
+            # well-formed empty output — (0,) energies, (0, 3) forces and a
+            # zero virial — stated explicitly rather than left to whatever
+            # shapes the per-type loop happens to fall through with
+            return ModelOutput(
+                energy=0.0,
+                per_atom_energy=per_atom,
+                forces=forces,
+                precision=policy.name,
+                used_framework=False,
+                virial=virial,
+            )
+
         for ti in range(self.n_types):
             idx = np.nonzero(env.types == ti)[0]
             if len(idx) == 0:
@@ -297,6 +364,105 @@ class DeepPotential:
             precision=policy.name,
             used_framework=False,
             virial=virial,
+        )
+
+    # ---------------------------------------------------------------------------
+    # Fused multi-system evaluation (the serving batch path)
+    # ---------------------------------------------------------------------------
+    # reprolint: hot-path
+    def evaluate_many(
+        self,
+        env: LocalEnvironment,
+        system_of_atom: np.ndarray,
+        offsets: np.ndarray,
+        precision: PrecisionPolicy | str = DOUBLE,
+        backend: GemmBackend | None = None,
+        compressed: bool = False,
+        compression_table: TabulatedEmbeddingSet | None = None,
+        workspace=None,
+    ) -> BatchModelOutput:
+        """Energies, forces and virials for many independent systems at once.
+
+        ``env`` is a *concatenated* local environment: the per-system
+        environment matrices stacked along the atom axis with neighbour
+        indices rebased to the global (concatenated) atom numbering — the
+        layout :func:`repro.serving.batch.pack_systems` produces.
+        ``system_of_atom`` maps each global atom row to its system index and
+        ``offsets`` is the ``(S + 1,)`` atom-offset array of the packing.
+
+        The compute reuses the single-system kernels unchanged: the per-type
+        compaction of :meth:`_per_type_fast` does not care which system a row
+        came from, so each embedding/fitting GEMM and each batched Hermite
+        table evaluation runs once over the whole multi-system batch instead
+        of once per system — the per-call dispatch and the under-filled small
+        GEMMs of one-at-a-time serving disappear.  Per-atom quantities reduce
+        to per-system energies/virials through fixed-order ``np.bincount``
+        segment sums, always in float64 (the same accumulation-precision
+        boundary as :meth:`evaluate`), so batching a system with different
+        companions never changes its reduction order.
+        """
+        policy = get_policy(precision)
+        backend = backend or GemmBackend()
+        system_of_atom = np.asarray(system_of_atom, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = env.n_atoms
+        if system_of_atom.shape != (n,):
+            raise ValueError("system_of_atom must hold one system index per packed atom")
+        n_systems = len(offsets) - 1
+        if n_systems < 0 or (n and int(offsets[-1]) != n):
+            raise ValueError("offsets must be a (S + 1,) cumulative atom-count array")
+        if workspace is not None:
+            per_atom = workspace.zeros("dp.many.per_atom", n)
+            forces = workspace.zeros("dp.many.forces", (n, 3))
+            energies = workspace.zeros("dp.many.energies", n_systems)
+            virials = workspace.zeros("dp.many.virials", (n_systems, 3, 3))
+        else:
+            per_atom = np.zeros(n)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            forces = np.zeros((n, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            energies = np.zeros(n_systems)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            virials = np.zeros((n_systems, 3, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+
+        for ti in range(self.n_types):
+            idx = np.nonzero(env.types == ti)[0]
+            if len(idx) == 0:
+                continue
+            energies_t, g_d, sub = self._per_type_fast(
+                env,
+                ti,
+                idx,
+                policy,
+                backend,
+                compressed,
+                compression_table=compression_table,
+                workspace=workspace,
+            )
+            per_atom[idx] = energies_t
+            self._scatter_forces(forces, idx, sub, g_d)
+            # per-centre virial tensors, segment-reduced per system: the
+            # (B, 3, 3) contraction keeps each centre's contribution separate
+            # so the bincount below can assign it to the right system
+            if workspace is not None:
+                pav = workspace.buffer(f"dp.many.pav.{ti}", (len(idx), 3, 3))
+            else:
+                pav = np.empty((len(idx), 3, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+            np.einsum("bni,bnj->bij", sub.displacements, g_d, out=pav)
+            sys_ids = system_of_atom[idx]
+            for a in range(3):
+                for b in range(3):
+                    virials[:, a, b] -= np.bincount(
+                        sys_ids, weights=pav[:, a, b], minlength=n_systems
+                    )
+
+        # per-system energy segment reduction (fixed bincount order, float64)
+        if n:
+            energies += np.bincount(system_of_atom, weights=per_atom, minlength=n_systems)
+        return BatchModelOutput(
+            energies=energies,
+            per_atom_energy=per_atom,
+            forces=forces,
+            virials=virials,
+            offsets=offsets,
+            precision=policy.name,
         )
 
     # reprolint: hot-path

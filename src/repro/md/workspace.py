@@ -42,6 +42,7 @@ from .box import Box
 
 __all__ = [
     "Workspace",
+    "ScopedWorkspace",
     "scatter_add_vectors",
     "scatter_add_scalars",
     "minimum_image_into",
@@ -127,10 +128,78 @@ class Workspace:
             self.hits += 1
         return backing[:length]
 
+    def capacity_zeros(self, name: str, length: int, trailing: tuple[int, ...] = (), dtype=np.float64) -> np.ndarray:
+        """Like :meth:`capacity` but the returned view is zero-filled.
+
+        The serving batch packer keys its concatenated per-batch arrays
+        through here: batch sizes jitter between admissions, so exact-shape
+        :meth:`zeros` buffers would miss on every batch while the grow-only
+        backing absorbs the jitter after warm-up.
+        """
+        view = self.capacity(name, length, trailing=trailing, dtype=dtype)
+        view.fill(0)
+        return view
+
+    def scoped(self, prefix: str) -> "ScopedWorkspace":
+        """A view of this pool with every buffer name prefixed by ``prefix``.
+
+        Pipelined consumers (the serving engine prepares batch ``k+1`` while
+        batch ``k`` is still being evaluated) need disjoint buffers for each
+        in-flight batch; a scope per pipeline slot keys them apart without a
+        second pool object or copied bookkeeping counters.
+        """
+        return ScopedWorkspace(self, prefix)
+
     def reset(self) -> None:
         """Drop every buffer (forces reallocation on next use)."""
         self._arrays.clear()
         self._capacities.clear()
+
+
+class ScopedWorkspace:
+    """A name-prefixing proxy over a :class:`Workspace`.
+
+    Implements the same buffer-vending surface (``buffer``/``zeros``/
+    ``capacity``/``capacity_zeros``/``adopt``/``scoped``) with every name
+    rewritten to ``<prefix>.<name>``, so two scopes over one pool can never
+    collide; hit/miss accounting stays on the shared parent pool.
+    """
+
+    def __init__(self, parent, prefix: str) -> None:
+        self._parent = parent
+        self.prefix = str(prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScopedWorkspace({self.prefix!r} over {self._parent!r})"
+
+    @property
+    def hits(self) -> int:
+        return self._parent.hits
+
+    @property
+    def misses(self) -> int:
+        return self._parent.misses
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def buffer(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        return self._parent.buffer(self._key(name), shape, dtype)
+
+    def zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        return self._parent.zeros(self._key(name), shape, dtype)
+
+    def adopt(self, name: str, array: np.ndarray) -> np.ndarray:
+        return self._parent.adopt(self._key(name), array)
+
+    def capacity(self, name: str, length: int, trailing: tuple[int, ...] = (), dtype=np.float64) -> np.ndarray:
+        return self._parent.capacity(self._key(name), length, trailing=trailing, dtype=dtype)
+
+    def capacity_zeros(self, name: str, length: int, trailing: tuple[int, ...] = (), dtype=np.float64) -> np.ndarray:
+        return self._parent.capacity_zeros(self._key(name), length, trailing=trailing, dtype=dtype)
+
+    def scoped(self, prefix: str) -> "ScopedWorkspace":
+        return ScopedWorkspace(self._parent, self._key(prefix))
 
 
 # reprolint: hot-path

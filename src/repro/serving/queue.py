@@ -1,0 +1,206 @@
+"""Request admission for the serving engine.
+
+The queue side of :mod:`repro.serving.engine`: clients submit
+:class:`ServingRequest` objects and block on :class:`ServingFuture` handles;
+the engine's prep thread pulls *batches* out via
+:meth:`AdmissionQueue.admit`, which groups pending requests under a
+max-batch-size / max-wait-ms admission window so that concurrent small
+requests coalesce into one fused evaluation instead of dribbling through one
+at a time.
+
+Admission policy: the window opens when the oldest pending request arrived.
+``admit`` returns as soon as ``max_batch_size`` same-kind requests are
+pending, or when the oldest request has waited ``max_wait_ms`` — whichever
+comes first — and takes the longest prefix of pending requests that share a
+kind (``"energy"`` one-shots and ``"md"`` bursts batch separately because
+they run different compute stages).  Under a single client the window adds at
+most ``max_wait_ms`` latency; under concurrency it buys batch width, which is
+where the fused kernels earn their throughput.
+
+:class:`ServingStats` accumulates per-request latency splits (queue wait vs.
+service) and per-batch widths; percentiles come out of ``np.percentile`` over
+the recorded samples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ServingRequest",
+    "ServingFuture",
+    "AdmissionQueue",
+    "ServingStats",
+    "BurstResult",
+]
+
+
+class ServingFuture:
+    """A one-shot result handle fulfilled by the engine's compute stage."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._exception: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def result(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("serving request did not complete in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+@dataclass
+class ServingRequest:
+    """One client request: an energy/force one-shot or a short MD burst."""
+
+    kind: str  # "energy" | "md"
+    atoms: object
+    box: object
+    n_steps: int = 0
+    timestep_fs: float = 0.0
+    future: ServingFuture = field(default_factory=ServingFuture)
+    t_submit: float = 0.0
+    t_admit: float = 0.0
+
+
+@dataclass
+class BurstResult:
+    """Final state of one MD burst request.
+
+    ``energies`` holds the potential energy after each step's force
+    evaluation, matching the serial reference trace of
+    :func:`repro.serving.serial.run_bursts_serial`.
+    """
+
+    atoms: object
+    energies: np.ndarray
+    n_steps: int
+
+
+class AdmissionQueue:
+    """Pending-request buffer with a batch admission window."""
+
+    def __init__(self, max_batch_size: int = 32, max_wait_ms: float = 2.0) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self._pending: deque[ServingRequest] = deque()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, request: ServingRequest) -> ServingFuture:
+        request.t_submit = time.perf_counter()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("admission queue is closed")
+            self._pending.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def close(self) -> None:
+        """Stop accepting submissions; pending requests stay admittable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def admit(self, poll_s: float = 0.05) -> list[ServingRequest] | None:
+        """The next batch under the admission window.
+
+        Returns ``None`` once the queue is closed *and* drained (the consumer
+        should exit), and may return an empty list after ``poll_s`` with no
+        arrivals (the consumer loops, giving it a cadence to notice external
+        shutdown flags).
+        """
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                if not self._cond.wait(poll_s):
+                    return []
+            # window opens at the oldest pending arrival; collect until the
+            # batch fills or the window closes
+            window_end = self._pending[0].t_submit + self.max_wait_s
+            while len(self._pending) < self.max_batch_size and not self._closed:
+                remaining = window_end - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            kind = self._pending[0].kind
+            batch: list[ServingRequest] = []
+            while (
+                self._pending
+                and len(batch) < self.max_batch_size
+                and self._pending[0].kind == kind
+            ):
+                batch.append(self._pending.popleft())
+            now = time.perf_counter()
+            for request in batch:
+                request.t_admit = now
+            return batch
+
+
+class ServingStats:
+    """Latency and batch-width accounting across a serving run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._wait_s: list[float] = []
+        self._service_s: list[float] = []
+        self._total_s: list[float] = []
+        self._batch_sizes: list[int] = []
+        self.n_requests = 0
+        self.n_batches = 0
+
+    def record_batch(self, requests, t_done: float) -> None:
+        with self._lock:
+            self.n_batches += 1
+            self._batch_sizes.append(len(requests))
+            for request in requests:
+                self.n_requests += 1
+                self._wait_s.append(request.t_admit - request.t_submit)
+                self._service_s.append(t_done - request.t_admit)
+                self._total_s.append(t_done - request.t_submit)
+
+    def latency_ms(self) -> dict:
+        """p50/p99/mean total latency (and the wait/service split means)."""
+        with self._lock:
+            if not self._total_s:
+                return {"p50": 0.0, "p99": 0.0, "mean": 0.0, "wait_mean": 0.0, "service_mean": 0.0}
+            total = np.asarray(self._total_s)
+            return {
+                "p50": float(np.percentile(total, 50)) * 1e3,
+                "p99": float(np.percentile(total, 99)) * 1e3,
+                "mean": float(total.mean()) * 1e3,
+                "wait_mean": float(np.mean(self._wait_s)) * 1e3,
+                "service_mean": float(np.mean(self._service_s)) * 1e3,
+            }
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if not self._batch_sizes:
+                return 0.0
+            return float(np.mean(self._batch_sizes))

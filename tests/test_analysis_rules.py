@@ -18,6 +18,8 @@ GOLDEN_CLASS_PATH = "src/repro/parallel/executor.py"
 HOT_PATH = "src/repro/md/forcefields/fake.py"
 BACKEND_PATH = "src/repro/parallel/fake_engine.py"
 PARALLEL_PATH = "src/repro/parallel/fake_reduce.py"
+SERVING_PATH = "src/repro/serving/fake_dispatch.py"
+SERVING_GOLDEN_PATH = "src/repro/serving/serial.py"
 PRODUCTION_PATH = "src/repro/md/fake_field.py"
 
 
@@ -284,6 +286,21 @@ def test_rl004_sorted_iteration_is_fixed_order():
     assert violations == []
 
 
+def test_rl004_set_iteration_fires_in_serving_package():
+    violations = fired(
+        lint(
+            """\
+            def fulfill(futures_by_request):
+                for request in set(futures_by_request):
+                    futures_by_request[request].set_result(None)
+            """,
+            SERVING_PATH,
+        ),
+        "RL004",
+    )
+    assert [v.line for v in violations] == [2]
+
+
 def test_rl004_does_not_apply_outside_parallel():
     violations = lint(
         """\
@@ -293,6 +310,22 @@ def test_rl004_does_not_apply_outside_parallel():
         PRODUCTION_PATH,
     )
     assert violations == []
+
+
+def test_rl001_serving_serial_module_is_frozen():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            def evaluate_serial(model, systems):
+                return np.bincount(systems)
+            """,
+            SERVING_GOLDEN_PATH,
+        ),
+        "RL001",
+    )
+    assert [v.line for v in violations] == [4]
 
 
 # ---------------------------------------------------------------------------

@@ -227,3 +227,67 @@ class TestPairStyle:
         ff = DeepPotentialForceField(tiny_copper_model, use_framework=True)
         ff.compute(atoms, box, neighbors)
         assert ff.session.stats.runs == 1
+
+
+class TestDegenerateSystems:
+    """0-atom and empty-neighbour requests return well-formed outputs.
+
+    The serving engine accepts arbitrary client systems, so the degenerate
+    cases are part of the evaluate contract now (PR 9), not an accident of
+    how the per-type loop falls through.
+    """
+
+    def _empty(self):
+        atoms = Atoms(
+            positions=np.zeros((0, 3)),
+            types=np.zeros(0, dtype=np.int64),
+            masses=np.zeros(0),
+        )
+        from repro.md.box import Box
+
+        box = Box.cubic(10.0)
+        neighbors = build_neighbor_data(atoms.positions, box, 4.5)
+        return atoms, box, neighbors
+
+    def test_zero_atom_system_returns_well_formed_empty_output(self, tiny_copper_model):
+        atoms, box, neighbors = self._empty()
+        out = tiny_copper_model.evaluate(atoms, box, neighbors)
+        assert out.energy == 0.0
+        assert out.per_atom_energy.shape == (0,)
+        assert out.forces.shape == (0, 3)
+        assert out.virial.shape == (3, 3)
+        np.testing.assert_array_equal(out.virial, 0.0)
+
+    def test_zero_atom_system_with_workspace_and_compression(self, tiny_copper_model):
+        from repro.md.workspace import Workspace
+
+        atoms, box, neighbors = self._empty()
+        ws = Workspace()
+        table = tiny_copper_model.compressed_embeddings()
+        for _ in range(2):  # second call exercises the warm pool
+            out = tiny_copper_model.evaluate(
+                atoms, box, neighbors, compressed=True, compression_table=table, workspace=ws
+            )
+            assert out.energy == 0.0 and out.forces.shape == (0, 3)
+
+    def test_isolated_atoms_have_no_neighbours_and_bias_energy(self, tiny_copper_model):
+        from repro.md.box import Box
+
+        model = tiny_copper_model
+        old_bias = model.energy_bias.copy()
+        try:
+            model.set_energy_bias(np.array([-2.5]))
+            box = Box.cubic(50.0)
+            # two atoms far outside each other's cutoff: every neighbour slot
+            # is padding, so the energy is exactly the per-type bias
+            atoms = Atoms(
+                positions=np.array([[5.0, 5.0, 5.0], [40.0, 40.0, 40.0]]),
+                types=np.zeros(2, dtype=np.int64),
+                masses=np.full(2, 63.546),
+            )
+            neighbors = build_neighbor_data(atoms.positions, box, model.config.cutoff)
+            out = model.evaluate(atoms, box, neighbors)
+            np.testing.assert_allclose(out.per_atom_energy, -2.5, atol=1e-12)
+            np.testing.assert_array_equal(out.forces, 0.0)
+        finally:
+            model.set_energy_bias(old_bias)

@@ -1,0 +1,407 @@
+"""The serving subsystem: packing, fused batched evaluation, engine, caches.
+
+Fast tier: parity pins (batched vs. the frozen serial references at 1e-10),
+packing invariants, admission batching, cross-request cache reuse and the
+degenerate-request contract.  The ``slow``-marked stress tier drives the
+threaded engine with many concurrent clients and mixed request kinds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.deepmd import MIX_FP32, DeepPotential, DeepPotentialConfig
+from repro.md.atoms import Atoms
+from repro.md.box import Box
+from repro.md.neighbor import build_neighbor_data
+from repro.md.workspace import Workspace
+from repro.serving import (
+    ServingEngine,
+    evaluate_serial,
+    pack_systems,
+    prepare_system,
+    run_bursts_serial,
+)
+
+#: fp64 pin of the batched path against the serial golden reference.
+PARITY_ATOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def serving_model():
+    """A tiny short-cutoff model so molecule-sized systems are legal."""
+    config = DeepPotentialConfig(
+        type_names=("Cu",),
+        cutoff=4.5,
+        cutoff_smooth=3.5,
+        embedding_sizes=(6, 12),
+        axis_neurons=4,
+        fitting_sizes=(16, 16),
+        max_neighbors=16,
+        seed=3,
+    )
+    return DeepPotential(config)
+
+
+def _cluster(n_atoms: int, rng: int):
+    """A small jittered-grid cluster in a large open (non-periodic) box."""
+    r = np.random.default_rng(rng)
+    grid = np.stack(np.meshgrid(*[np.arange(3)] * 3, indexing="ij"), axis=-1)
+    positions = grid.reshape(-1, 3)[:n_atoms] * 2.4 + r.normal(scale=0.15, size=(n_atoms, 3)) + 2.0
+    atoms = Atoms(
+        positions=positions,
+        types=np.zeros(n_atoms, dtype=np.int64),
+        masses=np.full(n_atoms, 63.546),
+    )
+    return atoms, Box.cubic(40.0, periodic=False)
+
+
+def _mixed_systems(model, sizes=(6, 9, 4, 8), rng0=50):
+    return [prepare_system(model, *_cluster(n, rng0 + i)) for i, n in enumerate(sizes)]
+
+
+# ---------------------------------------------------------------------------
+# Packing
+# ---------------------------------------------------------------------------
+
+
+class TestPacking:
+    def test_offsets_and_system_of_atom(self, serving_model):
+        systems = _mixed_systems(serving_model)
+        batch = pack_systems(serving_model, systems)
+        sizes = [len(atoms) for atoms, _, _ in systems]
+        np.testing.assert_array_equal(batch.offsets, np.concatenate([[0], np.cumsum(sizes)]))
+        assert batch.n_systems == len(systems)
+        assert batch.n_atoms == sum(sizes)
+        for s in range(batch.n_systems):
+            np.testing.assert_array_equal(batch.system_of_atom[batch.system_slice(s)], s)
+
+    def test_neighbor_indices_rebased_and_padding_preserved(self, serving_model):
+        systems = _mixed_systems(serving_model)
+        batch = pack_systems(serving_model, systems)
+        for s, (atoms, box, neighbors) in enumerate(systems):
+            env = serving_model.build_environment(atoms, box, neighbors)
+            rows = batch.system_slice(s)
+            packed = batch.env.neighbor_indices[rows]
+            expected = np.where(env.neighbor_indices >= 0, env.neighbor_indices + rows.start, -1)
+            np.testing.assert_array_equal(packed, expected)
+            # every real neighbour index stays inside its own system's rows
+            real = packed[packed >= 0]
+            assert real.min() >= rows.start and real.max() < rows.stop
+
+    def test_empty_batch(self, serving_model):
+        batch = pack_systems(serving_model, [])
+        assert batch.n_systems == 0 and batch.n_atoms == 0
+        out = serving_model.evaluate_many(batch.env, batch.system_of_atom, batch.offsets)
+        assert out.energies.shape == (0,) and out.forces.shape == (0, 3)
+        assert out.split() == []
+
+    def test_workspace_pack_is_pooled_after_warmup(self, serving_model):
+        ws = Workspace()
+        systems = _mixed_systems(serving_model)
+        pack_systems(serving_model, systems, workspace=ws)
+        misses = ws.misses
+        # same sizes: pure pool hits; smaller batch: grow-only views, no misses
+        pack_systems(serving_model, systems, workspace=ws)
+        pack_systems(serving_model, systems[:2], workspace=ws)
+        assert ws.misses == misses
+
+
+# ---------------------------------------------------------------------------
+# Fused batched evaluation vs. the serial golden reference
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_fp64_parity_with_serial_reference(self, serving_model, compressed):
+        systems = _mixed_systems(serving_model)
+        table = serving_model.compressed_embeddings() if compressed else None
+        reference = evaluate_serial(
+            serving_model, systems, compressed=compressed, compression_table=table
+        )
+        ws = Workspace()
+        batch = pack_systems(serving_model, systems, workspace=ws)
+        out = serving_model.evaluate_many(
+            batch.env,
+            batch.system_of_atom,
+            batch.offsets,
+            compressed=compressed,
+            compression_table=table,
+            workspace=ws,
+        )
+        for s, ref in enumerate(reference):
+            rows = batch.system_slice(s)
+            assert abs(out.energies[s] - ref.energy) < PARITY_ATOL
+            np.testing.assert_allclose(out.forces[rows], ref.forces, atol=PARITY_ATOL)
+            np.testing.assert_allclose(out.virials[s], ref.virial, atol=PARITY_ATOL)
+            np.testing.assert_allclose(
+                out.per_atom_energy[rows], ref.per_atom_energy, atol=PARITY_ATOL
+            )
+
+    def test_split_copies_match_and_survive_repack(self, serving_model):
+        systems = _mixed_systems(serving_model)
+        ws = Workspace()
+        batch = pack_systems(serving_model, systems, workspace=ws)
+        out = serving_model.evaluate_many(
+            batch.env, batch.system_of_atom, batch.offsets, workspace=ws
+        )
+        parts = out.split()
+        reference = evaluate_serial(serving_model, systems)
+        # overwrite the pool by evaluating a different batch through the same
+        # workspace; the split outputs must be unaffected (they are copies)
+        other = pack_systems(serving_model, systems[::-1], workspace=ws)
+        serving_model.evaluate_many(other.env, other.system_of_atom, other.offsets, workspace=ws)
+        for part, ref in zip(parts, reference):
+            assert abs(part.energy - ref.energy) < PARITY_ATOL
+            np.testing.assert_allclose(part.forces, ref.forces, atol=PARITY_ATOL)
+
+    def test_batch_membership_does_not_change_results(self, serving_model):
+        """A system's numbers must not depend on its batch companions."""
+        systems = _mixed_systems(serving_model)
+        solo = pack_systems(serving_model, systems[:1])
+        out_solo = serving_model.evaluate_many(solo.env, solo.system_of_atom, solo.offsets)
+        full = pack_systems(serving_model, systems)
+        out_full = serving_model.evaluate_many(full.env, full.system_of_atom, full.offsets)
+        rows = full.system_slice(0)
+        np.testing.assert_allclose(
+            out_full.forces[rows], out_solo.forces, atol=PARITY_ATOL
+        )
+        assert abs(out_full.energies[0] - out_solo.energies[0]) < PARITY_ATOL
+
+    def test_degenerate_systems_inside_a_batch(self, serving_model):
+        box = Box.cubic(50.0, periodic=False)
+        empty = Atoms(
+            positions=np.zeros((0, 3)), types=np.zeros(0, dtype=np.int64), masses=np.zeros(0)
+        )
+        lone = Atoms(
+            positions=np.array([[25.0, 25.0, 25.0]]),
+            types=np.zeros(1, dtype=np.int64),
+            masses=np.full(1, 63.546),
+        )
+        systems = [
+            (empty, box, build_neighbor_data(empty.positions, box, serving_model.config.cutoff)),
+            _mixed_systems(serving_model)[0],
+            (lone, box, build_neighbor_data(lone.positions, box, serving_model.config.cutoff)),
+        ]
+        batch = pack_systems(serving_model, systems)
+        out = serving_model.evaluate_many(batch.env, batch.system_of_atom, batch.offsets)
+        reference = evaluate_serial(serving_model, systems)
+        for s, ref in enumerate(reference):
+            assert abs(out.energies[s] - ref.energy) < PARITY_ATOL
+        parts = out.split()
+        assert parts[0].forces.shape == (0, 3)
+        assert parts[2].forces.shape == (1, 3)
+        np.testing.assert_allclose(parts[2].forces, 0.0, atol=PARITY_ATOL)
+
+    def test_evaluate_many_validates_inputs(self, serving_model):
+        systems = _mixed_systems(serving_model)
+        batch = pack_systems(serving_model, systems)
+        with pytest.raises(ValueError):
+            serving_model.evaluate_many(
+                batch.env, batch.system_of_atom[:-1], batch.offsets
+            )
+        with pytest.raises(ValueError):
+            serving_model.evaluate_many(
+                batch.env, batch.system_of_atom, batch.offsets[:-1]
+            )
+
+
+# ---------------------------------------------------------------------------
+# Engine: admission batching, async pipeline, MD bursts
+# ---------------------------------------------------------------------------
+
+
+class TestServingEngine:
+    def test_one_shot_requests_match_serial_reference(self, serving_model):
+        systems = _mixed_systems(serving_model)
+        table = serving_model.compressed_embeddings()
+        reference = evaluate_serial(
+            serving_model, systems, compressed=True, compression_table=table
+        )
+        with ServingEngine(serving_model, max_batch_size=8, max_wait_ms=10.0) as engine:
+            futures = [engine.submit(atoms, box) for atoms, box, _ in systems]
+            results = [future.result(timeout=60) for future in futures]
+        for got, ref in zip(results, reference):
+            assert abs(got.energy - ref.energy) < PARITY_ATOL
+            np.testing.assert_allclose(got.forces, ref.forces, atol=PARITY_ATOL)
+            np.testing.assert_allclose(got.virial, ref.virial, atol=PARITY_ATOL)
+
+    def test_admission_window_coalesces_concurrent_requests(self, serving_model):
+        systems = _mixed_systems(serving_model) * 4  # 16 requests
+        with ServingEngine(serving_model, max_batch_size=16, max_wait_ms=50.0) as engine:
+            futures = [engine.submit(atoms, box) for atoms, box, _ in systems]
+            for future in futures:
+                future.result(timeout=60)
+            stats = engine.stats
+            assert stats.n_requests == len(systems)
+            # the 50 ms window must have coalesced most of the burst
+            assert stats.mean_batch_size() > 1.5
+            latency = stats.latency_ms()
+            assert latency["p99"] >= latency["p50"] > 0.0
+
+    def test_md_bursts_match_serial_reference(self, serving_model):
+        systems = _mixed_systems(serving_model, sizes=(6, 9, 4))
+        bursts = [(atoms, box, 3, 0.5) for atoms, box, _ in systems]
+        table = serving_model.compressed_embeddings()
+        reference = run_bursts_serial(
+            serving_model, bursts, compressed=True, compression_table=table
+        )
+        with ServingEngine(serving_model, max_batch_size=8, max_wait_ms=20.0) as engine:
+            futures = [engine.submit_md(atoms, box, 3, 0.5) for atoms, box, _ in systems]
+            results = [future.result(timeout=120) for future in futures]
+        for got, (ref_atoms, ref_energies) in zip(results, reference):
+            assert got.n_steps == 3 and got.energies.shape == (3,)
+            np.testing.assert_allclose(got.atoms.positions, ref_atoms.positions, atol=PARITY_ATOL)
+            np.testing.assert_allclose(got.atoms.velocities, ref_atoms.velocities, atol=PARITY_ATOL)
+            np.testing.assert_allclose(got.energies, ref_energies, atol=PARITY_ATOL)
+
+    def test_failed_request_raises_through_its_future(self, serving_model):
+        bad = Atoms(
+            positions=np.array([[1.0, 1.0, 1.0]]),
+            types=np.full(1, 7, dtype=np.int64),  # no such type in the model
+            masses=np.ones(1),
+        )
+        good = _mixed_systems(serving_model)[0]
+        with ServingEngine(serving_model, max_batch_size=1, max_wait_ms=1.0) as engine:
+            bad_future = engine.submit(bad, Box.cubic(20.0, periodic=False))
+            good_future = engine.submit(good[0], good[1])
+            with pytest.raises(Exception):
+                bad_future.result(timeout=60)
+            # a poisoned batch must not take the engine down with it
+            assert good_future.result(timeout=60).forces.shape == (len(good[0]), 3)
+
+    def test_submitted_atoms_are_snapshotted(self, serving_model):
+        atoms, box, _ = _mixed_systems(serving_model)[0]
+        with ServingEngine(serving_model, max_batch_size=1, max_wait_ms=1.0) as engine:
+            future = engine.submit(atoms, box)
+            atoms.positions[:] = 0.0  # client mutates after submit
+            out = future.result(timeout=60)
+        assert np.abs(out.forces).max() > 0.0  # evaluated the snapshot, not the zeros
+
+
+# ---------------------------------------------------------------------------
+# Cross-request cache reuse (the per-model caches are built once)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheReuse:
+    def test_compression_table_built_once_across_requests(self):
+        config = DeepPotentialConfig(
+            type_names=("Cu",),
+            cutoff=4.5,
+            cutoff_smooth=3.5,
+            embedding_sizes=(6, 12),
+            axis_neurons=4,
+            fitting_sizes=(16, 16),
+            max_neighbors=16,
+            seed=11,
+        )
+        model = DeepPotential(config)
+        assert model.table_cache_builds == 0
+        with ServingEngine(model, max_batch_size=4, max_wait_ms=2.0) as engine:
+            for wave in range(3):
+                futures = [
+                    engine.submit(*_cluster(6, 70 + 10 * wave + i)) for i in range(4)
+                ]
+                for future in futures:
+                    future.result(timeout=60)
+            probe = engine.cache_probe()
+        assert probe["table_cache_builds"] == 1
+        # fp64 policy: no packed low-precision copy, no lp layer caches
+        assert probe["packed_cache_builds"] == 0
+        assert probe["lp_cache_builds"] == 0
+
+    def test_packed_table_and_standardization_cached_across_requests(self):
+        config = DeepPotentialConfig(
+            type_names=("Cu",),
+            cutoff=4.5,
+            cutoff_smooth=3.5,
+            embedding_sizes=(6, 12),
+            axis_neurons=4,
+            fitting_sizes=(16, 16),
+            max_neighbors=16,
+            seed=12,
+        )
+        model = DeepPotential(config)
+        with ServingEngine(
+            model, precision=MIX_FP32, max_batch_size=4, max_wait_ms=2.0
+        ) as engine:
+            first = None
+            for wave in range(3):
+                futures = [
+                    engine.submit(*_cluster(6, 90 + 10 * wave + i)) for i in range(4)
+                ]
+                for future in futures:
+                    future.result(timeout=60)
+                probe = engine.cache_probe()
+                if first is None:
+                    first = probe
+                # nothing is rebuilt by later waves
+                assert probe == first
+        assert first["table_cache_builds"] == 1
+        assert first["packed_cache_builds"] == 1
+        assert first["standardization_entries"] >= 1
+
+    def test_two_engines_on_one_model_share_the_table(self, serving_model):
+        table_ids = []
+        for _ in range(2):
+            with ServingEngine(serving_model, max_batch_size=2, max_wait_ms=1.0) as engine:
+                engine.submit(*_cluster(6, 123)).result(timeout=60)
+                table_ids.append(engine.cache_probe()["table_id"])
+        assert table_ids[0] == table_ids[1]
+        assert serving_model.table_cache_builds == 1
+
+
+# ---------------------------------------------------------------------------
+# Stress tier (slow): concurrent clients, mixed request kinds
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_serving_stress_concurrent_mixed_clients(serving_model):
+    """Many client threads hammer the engine with mixed one-shots and bursts."""
+    n_clients = 8
+    requests_per_client = 6
+    table = serving_model.compressed_embeddings()
+    errors = []
+    checked = []
+
+    def client(cid: int):
+        try:
+            with_engine(cid)
+        except Exception as exc:  # pragma: no cover - surfaced via the errors list
+            errors.append((cid, exc))
+
+    def with_engine(cid: int):
+        for k in range(requests_per_client):
+            atoms, box = _cluster(4 + (cid + k) % 6, 1000 + 97 * cid + k)
+            if (cid + k) % 3 == 0:
+                future = engine.submit_md(atoms, box, 2, 0.5)
+                result = future.result(timeout=300)
+                assert result.energies.shape == (2,)
+            else:
+                future = engine.submit(atoms, box)
+                out = future.result(timeout=300)
+                neighbors = build_neighbor_data(
+                    atoms.positions, box, serving_model.config.cutoff
+                )
+                ref = serving_model.evaluate(
+                    atoms, box, neighbors, compressed=True, compression_table=table
+                )
+                np.testing.assert_allclose(out.forces, ref.forces, atol=PARITY_ATOL)
+                assert abs(out.energy - ref.energy) < PARITY_ATOL
+                checked.append(1)
+
+    with ServingEngine(serving_model, max_batch_size=16, max_wait_ms=5.0) as engine:
+        threads = [threading.Thread(target=client, args=(cid,)) for cid in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = engine.stats
+    assert errors == []
+    assert stats.n_requests == n_clients * requests_per_client
+    assert len(checked) > 0
+    assert serving_model.table_cache_builds == 1
