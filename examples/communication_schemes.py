@@ -11,7 +11,6 @@ Run:  python examples/communication_schemes.py
 from __future__ import annotations
 
 from repro.core.experiments import fig7_comm_schemes, fig8_memory_pool
-from repro.core.systems import copper_spec
 from repro.md import copper_system
 from repro.parallel import GhostExchangeSimulator, RankTopology, SpatialDecomposition
 

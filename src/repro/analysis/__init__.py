@@ -2,7 +2,7 @@
 the AST-based invariant linter (``python -m repro.analysis``)."""
 
 from .errors import energy_error_per_atom, force_rmse, force_max_error, precision_error_table
-from .reprolint import Violation, lint_paths, lint_source
+from .reprolint import Violation, lint_paths, lint_source, lint_sources
 from .sdmr import sdmr_percent
 
 __all__ = [
@@ -14,4 +14,5 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -1,18 +1,80 @@
 """CLI: ``python -m repro.analysis [paths...]`` — lint the house invariants.
 
-Exits 0 when every contract holds, 1 with ``file:line: RLxxx message``
-diagnostics otherwise.  The default target is ``src`` (the production tree);
-CI also passes ``tests benchmarks`` so seeded corpora and harness code keep
-the same pragma hygiene.
+Exits 0 when every contract holds, 1 with diagnostics otherwise.  The default
+targets are ``src tests benchmarks`` — the same roots CI lints — so a bare
+local run reproduces the CI gate.
+
+Beyond linting: ``--format text|json|sarif`` (``--output`` writes the report
+to a file, CI uploads the JSON as a build artifact), ``--baseline report.json``
+hides findings already present in a previous JSON report, ``--list-rules`` /
+``--explain RLxxx`` document the catalogue, and ``--update-golden --reason
+"..."`` refreshes the RL007 fingerprint baseline after an intentional golden
+edit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
+from pathlib import Path
 
-from .reprolint import FRAMEWORK_RULE_ID, FRAMEWORK_SLUG, lint_paths
-from .rules import ALL_RULES
+from .fingerprint import (
+    DEFAULT_BASELINE_PATH,
+    collect_fingerprints,
+    write_golden_baseline,
+)
+from .report import (
+    apply_baseline,
+    load_report_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+    rule_catalogue,
+)
+from .reprolint import FRAMEWORK_RULE_ID, ParsedFile, iter_python_files, lint_paths
+from .rules import ALL_RULES, PROGRAM_RULES
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
+
+
+def _explain(rule_id: str) -> int:
+    for rule_cls in ALL_RULES + PROGRAM_RULES:
+        if rule_cls.rule_id == rule_id:
+            print(f"{rule_cls.rule_id} [{rule_cls.slug}] {rule_cls.description}")
+            doc = textwrap.dedent(rule_cls.__doc__ or "").strip()
+            if doc:
+                print()
+                print(doc)
+            return 0
+    if rule_id == FRAMEWORK_RULE_ID:
+        print(f"{FRAMEWORK_RULE_ID} [pragma] pragma hygiene and parse errors")
+        return 0
+    print(f"unknown rule id {rule_id!r}; see --list-rules", file=sys.stderr)
+    return 2
+
+
+def _update_golden(paths: list[str], reason: str) -> int:
+    parsed_files: dict[str, ParsedFile] = {}
+    for path in iter_python_files(paths):
+        rel_path = path.as_posix()
+        try:
+            parsed_files[rel_path] = ParsedFile.parse(
+                path.read_text(encoding="utf-8"), rel_path
+            )
+        except (OSError, SyntaxError):
+            continue
+    fingerprints, missing = collect_fingerprints(parsed_files)
+    if missing:
+        for key in missing:
+            print(f"golden site {key} not found under {' '.join(paths)}", file=sys.stderr)
+        return 2
+    write_golden_baseline(fingerprints, reason)
+    print(f"recorded {len(fingerprints)} golden fingerprint(s) in {DEFAULT_BASELINE_PATH}")
+    print(f"reason: {reason}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,27 +85,78 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        default=DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_RENDERERS),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous JSON report; findings recorded there are hidden",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RLxxx",
+        default=None,
+        help="print one rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="refresh analysis/golden_baseline.json from the current tree (RL007)",
+    )
+    parser.add_argument(
+        "--reason",
+        default=None,
+        help="why the golden regions changed (required with --update-golden)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        print(f"{FRAMEWORK_RULE_ID} [{FRAMEWORK_SLUG}] pragma hygiene and parse errors")
-        for rule_cls in ALL_RULES:
-            print(f"{rule_cls.rule_id} [{rule_cls.slug}] {rule_cls.description}")
+        for entry in rule_catalogue():
+            print(f"{entry['id']} [{entry['slug']}] {entry['description']}")
         return 0
+    if args.explain is not None:
+        return _explain(args.explain)
+    if args.update_golden:
+        if not args.reason or not args.reason.strip():
+            parser.error("--update-golden requires --reason (why did the golden regions change?)")
+        return _update_golden(args.paths, args.reason.strip())
 
     violations = lint_paths(args.paths)
-    for violation in violations:
-        print(violation.format())
-    if violations:
-        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    return 0
+    suppressed = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_report_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"unreadable --baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        violations, suppressed = apply_baseline(violations, baseline)
+
+    report = _RENDERERS[args.fmt](violations, suppressed)
+    if args.output is not None:
+        args.output.write_text(report, encoding="utf-8")
+        # keep the terminal summary even when the report goes to a file
+        print(render_text(violations, suppressed))
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

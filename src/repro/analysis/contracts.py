@@ -21,6 +21,11 @@ __all__ = [
     "FAST_PATH_MODULES",
     "FAST_PATH_NAMES",
     "HOT_PATH_MARKER",
+    "COLD_PATH_MARKER",
+    "WORKER_ENTRYPOINTS",
+    "WORKER_FORBIDDEN_CALLS",
+    "WORKER_FORBIDDEN_CONSTRUCTORS",
+    "SHARED_SLAB_COMPONENT",
     "ALLOCATING_CONSTRUCTORS",
     "DTYPE_SANCTIONED_SUFFIXES",
     "LOW_PRECISION_ATTRS",
@@ -87,6 +92,70 @@ FAST_PATH_NAMES: frozenset[str] = frozenset(
 #: The in-source marker body registering a function as a per-step hot path;
 #: the full directive goes on the ``def`` line or the line above it.
 HOT_PATH_MARKER = "hot-path"
+
+#: The boundary marker for RL006's call-graph propagation: ``# reprolint:
+#: cold-path <reason>`` on a ``def`` (same binding rules as ``hot-path``)
+#: declares that the function runs only on the rebuild/cache-build cadence, so
+#: reachability from a hot path stops there instead of holding its body (and
+#: everything it calls) to the no-allocation contract.  The reason is
+#: mandatory, like every other exemption.
+COLD_PATH_MARKER = "cold-path"
+
+#: The functions whose bodies execute in *worker context* (RL008): the
+#: persistent-pool subprocess entry of the multiprocess executor, and the
+#: serving engine's prep thread (the PR 9 analogue of a worker: it may build
+#: neighbour lists and pack batches, never evaluate/integrate/fulfill).
+#: Everything reachable from these through the call graph is held to the PR 7
+#: contract — the parent keeps every comm, integration and reduction step.
+WORKER_ENTRYPOINTS: tuple[tuple[str, str], ...] = (
+    ("repro/parallel/executor.py", "_worker_main"),
+    ("repro/serving/engine.py", "ServingEngine._prep_loop"),
+)
+
+#: Parent-only primitives (matched on the last dotted component of a call):
+#: ghost-exchange selection/delivery, the engine's comm steps, integrator
+#: half-steps and thermostats, global reductions/gathers and future
+#: fulfilment.  A worker-reachable function calling any of these forks the
+#: comm/integration sequence out of the parent and silently un-pins the
+#: bitwise sequential-vs-process parity.
+WORKER_FORBIDDEN_CALLS: frozenset[str] = frozenset(
+    {
+        # GhostExchange API + engine comm steps (parent-only, PR 7)
+        "p2p_selection",
+        "node_selection",
+        "p2p_neighbor_ranks",
+        "node_peer_ranks",
+        "node_neighbor_ranks",
+        "deliver",
+        "_exchange_ghosts",
+        "_migrate",
+        "_forward_halo",
+        "_reverse_scatter_forces",
+        "_refresh_ghost_positions",
+        # integration + thermostat scheduling (parent-only, PR 4/7)
+        "first_half",
+        "second_half",
+        "integrate_first_half",
+        "integrate_second_half",
+        "apply_thermostat",
+        # global reductions / request fulfilment (parent/compute-side, PR 7/9)
+        "sample_temperature",
+        "capture_positions",
+        "evaluate_many",
+        "set_result",
+        "set_exception",
+    }
+)
+
+#: Constructing a comm component in worker context is as much a fork of the
+#: parent-owned exchange as calling one.
+WORKER_FORBIDDEN_CONSTRUCTORS: frozenset[str] = frozenset({"GhostExchange"})
+
+#: Attribute component naming the shared-memory slab bundle
+#: (``SharedRankArrays`` travels as ``init.shared`` / ``self.shared``).
+#: Worker-reachable code writing through a ``*.shared.*`` chain bypasses the
+#: own-rank row views that make slab writes race-free.
+SHARED_SLAB_COMPONENT = "shared"
 
 #: NumPy constructors that allocate a fresh array every call — banned inside
 #: registered hot paths (the static complement of ``bench_run_loop.py``'s

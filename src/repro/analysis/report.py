@@ -1,0 +1,158 @@
+"""Reporting layer for reprolint: text/JSON/SARIF rendering and baselines.
+
+The CLI (``python -m repro.analysis``) renders one of three formats:
+
+* ``text`` — the classic ``path:line: RLxxx message`` stream plus a per-rule
+  count summary;
+* ``json`` — a machine-readable report (CI uploads it as a build artifact and
+  it doubles as the ``--baseline`` input format);
+* ``sarif`` — SARIF 2.1.0 for code-scanning UIs.
+
+``--baseline report.json`` suppresses findings already present in a previous
+JSON report, matched on ``(path, rule_id, message)`` — line numbers drift
+with unrelated edits, messages carry the qualified names and stay stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .reprolint import FRAMEWORK_RULE_ID, FRAMEWORK_SLUG, Violation
+
+__all__ = [
+    "rule_catalogue",
+    "violation_counts",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "load_report_baseline",
+    "apply_baseline",
+]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def rule_catalogue() -> list[dict]:
+    """Every rule (framework row first) as ``{id, slug, description}``."""
+    from .rules import ALL_RULES, PROGRAM_RULES
+
+    catalogue = [
+        {
+            "id": FRAMEWORK_RULE_ID,
+            "slug": FRAMEWORK_SLUG,
+            "description": "pragma hygiene and parse errors",
+        }
+    ]
+    for rule_cls in ALL_RULES + PROGRAM_RULES:
+        catalogue.append(
+            {
+                "id": rule_cls.rule_id,
+                "slug": rule_cls.slug,
+                "description": rule_cls.description,
+            }
+        )
+    return catalogue
+
+
+def violation_counts(violations: list[Violation]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(violations: list[Violation], suppressed: int = 0) -> str:
+    lines = [violation.format() for violation in violations]
+    counts = violation_counts(violations)
+    if counts:
+        summary = ", ".join(f"{rule_id}: {n}" for rule_id, n in counts.items())
+        lines.append(f"reprolint: {len(violations)} violation(s) ({summary})")
+    else:
+        lines.append("reprolint: clean")
+    if suppressed:
+        lines.append(f"reprolint: {suppressed} pre-existing finding(s) hidden by --baseline")
+    return "\n".join(lines)
+
+
+def render_json(violations: list[Violation], suppressed: int = 0) -> str:
+    payload = {
+        "tool": "reprolint",
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "rules": rule_catalogue(),
+        "counts": violation_counts(violations),
+        "baseline_suppressed": suppressed,
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule_id": v.rule_id,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_sarif(violations: list[Violation], suppressed: int = 0) -> str:
+    rules = [
+        {
+            "id": entry["id"],
+            "name": entry["slug"],
+            "shortDescription": {"text": entry["description"]},
+        }
+        for entry in rule_catalogue()
+    ]
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {"startLine": v.line},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def load_report_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """``(path, rule_id, message)`` keys recorded in a previous JSON report."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    keys: set[tuple[str, str, str]] = set()
+    for entry in payload.get("violations", ()):
+        keys.add((str(entry["path"]), str(entry["rule_id"]), str(entry["message"])))
+    return keys
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Violation], int]:
+    """``(new findings, suppressed count)`` after baseline filtering."""
+    kept = [
+        v for v in violations if (v.path, v.rule_id, v.message) not in baseline
+    ]
+    return kept, len(violations) - len(kept)

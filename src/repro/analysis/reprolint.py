@@ -7,13 +7,26 @@ with a ``file:line`` diagnostic.  It is dependency-free: files are parsed with
 string literals — e.g. the rule self-test corpus — is never mistaken for a
 directive), and each rule walks the tree through a small registry.
 
+Two rule shapes exist.  Per-file :class:`Rule` subclasses see one
+:class:`ParsedFile` at a time (RL001–RL005).  Whole-program
+:class:`ProgramRule` subclasses see a :class:`Project` — every parsed file
+plus the :class:`~repro.analysis.project.ProjectIndex` and
+:class:`~repro.analysis.callgraph.CallGraph` built over them — and power the
+transitive contracts (RL006 hot-path propagation, RL007 golden fingerprints,
+RL008 worker-context discipline).
+
 Pragmas
 -------
-Two comment directives are recognised, on real comment tokens only:
+Directives are recognised on real comment tokens only:
 
 ``# reprolint: hot-path``
     on a ``def`` line (or the line directly above it) registers that function
-    as a per-step hot path for the allocation rule (RL002).
+    as a per-step hot path for the allocation rules (RL002 directly, RL006
+    transitively through the call graph).
+
+``# reprolint: cold-path <reason>``
+    on a ``def`` (same binding rules) declares a rebuild-only boundary: RL006
+    propagation stops there.  The reason is mandatory.
 
 ``# reprolint: allow[<slug>] <reason>``
     on the offending line suppresses the rule with that slug there.  The
@@ -24,8 +37,9 @@ Two comment directives are recognised, on real comment tokens only:
 Running
 -------
 ``python -m repro.analysis [paths...]`` lints the given files/directories
-(default: ``src``) and exits non-zero on any finding.  Programmatic entry
-points: :func:`lint_paths` and, for the self-test corpus, :func:`lint_source`.
+(default: ``src tests benchmarks``, the CI gate) and exits non-zero on any
+finding.  Programmatic entry points: :func:`lint_paths` and, for the
+self-test corpora, :func:`lint_source` / :func:`lint_sources`.
 """
 
 from __future__ import annotations
@@ -37,14 +51,17 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .contracts import HOT_PATH_MARKER
+from .contracts import COLD_PATH_MARKER, HOT_PATH_MARKER
 
 __all__ = [
     "Violation",
     "Pragma",
     "ParsedFile",
     "Rule",
+    "ProgramRule",
+    "Project",
     "lint_source",
+    "lint_sources",
     "lint_paths",
     "iter_python_files",
 ]
@@ -75,7 +92,7 @@ class Pragma:
     """One ``# reprolint:`` directive recovered from a comment token."""
 
     line: int
-    kind: str  # "allow" | "hot-path" | "unknown"
+    kind: str  # "allow" | "hot-path" | "cold-path" | "unknown"
     slug: str | None = None
     reason: str = ""
     raw: str = ""
@@ -151,6 +168,13 @@ class ParsedFile:
             body = match.group("body").strip()
             if body == HOT_PATH_MARKER:
                 pragma = Pragma(line=line, kind=HOT_PATH_MARKER, raw=body)
+            elif body == COLD_PATH_MARKER or body.startswith(COLD_PATH_MARKER + " "):
+                pragma = Pragma(
+                    line=line,
+                    kind=COLD_PATH_MARKER,
+                    reason=body[len(COLD_PATH_MARKER):].strip(),
+                    raw=body,
+                )
             else:
                 allow = _ALLOW_RE.fullmatch(body)
                 if allow is not None:
@@ -172,21 +196,20 @@ class ParsedFile:
                 return pragma
         return None
 
-    # -- hot-path registry -----------------------------------------------------
-    def hot_path_functions(self) -> list[tuple[str, ast.AST]]:
-        """Functions registered via the ``hot-path`` marker.
+    # -- hot/cold-path registries ----------------------------------------------
+    def _marker_functions(self, kind: str) -> tuple[list[tuple[str, ast.AST]], list[int]]:
+        """Functions bound to ``kind`` markers, plus unbound marker lines.
 
-        The marker binds to a ``def`` whose header line carries it, or that
+        A marker binds to a ``def`` whose header line carries it, or that
         starts on the line immediately below a marker-only comment line.
         """
         marker_lines = {
             line
             for line, pragmas in self.pragmas.items()
-            if any(p.kind == HOT_PATH_MARKER for p in pragmas)
+            if any(p.kind == kind for p in pragmas)
         }
         if not marker_lines:
-            self._orphan_markers: list[int] = []
-            return []
+            return [], []
         registered = []
         claimed: set[int] = set()
         for qualname, node in self.functions:
@@ -196,14 +219,39 @@ class ParsedFile:
             elif node.lineno - 1 in marker_lines:
                 registered.append((qualname, node))
                 claimed.add(node.lineno - 1)
-        self._orphan_markers = sorted(marker_lines - claimed)
+        return registered, sorted(marker_lines - claimed)
+
+    def hot_path_functions(self) -> list[tuple[str, ast.AST]]:
+        """Functions registered via the ``hot-path`` marker."""
+        registered, orphans = self._marker_functions(HOT_PATH_MARKER)
+        self._orphan_markers: list[int] = orphans
         return registered
 
     def orphan_hot_path_markers(self) -> list[int]:
-        """Marker lines that did not bind to any function definition."""
+        """Hot-path marker lines that did not bind to any function definition."""
         if not hasattr(self, "_orphan_markers"):
             self.hot_path_functions()
         return self._orphan_markers
+
+    def cold_path_functions(self) -> list[tuple[str, ast.AST]]:
+        """Functions registered as RL006 boundaries via the ``cold-path`` marker."""
+        registered, orphans = self._marker_functions(COLD_PATH_MARKER)
+        self._orphan_cold_markers: list[int] = orphans
+        return registered
+
+    def orphan_cold_path_markers(self) -> list[int]:
+        if not hasattr(self, "_orphan_cold_markers"):
+            self.cold_path_functions()
+        return self._orphan_cold_markers
+
+    def reasonless_cold_path_markers(self) -> list[int]:
+        """Cold-path markers missing their mandatory reason."""
+        return sorted(
+            line
+            for line, pragmas in self.pragmas.items()
+            for p in pragmas
+            if p.kind == COLD_PATH_MARKER and not p.reason
+        )
 
 
 class Rule:
@@ -219,6 +267,47 @@ class Rule:
     def check(self, parsed: ParsedFile):
         """Yield ``(line, message)`` candidates; suppression is handled by
         the framework so rules stay pure detectors."""
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass
+class Project:
+    """Every parsed file plus the whole-program indexes (built lazily once)."""
+
+    files: dict[str, ParsedFile]
+    index: "object" = None  # ProjectIndex
+    callgraph: "object" = None  # CallGraph
+    #: ``{golden site key: recorded hash}`` — ``None`` disables RL007 (the
+    #: in-memory corpus default; ``lint_paths`` loads the committed baseline).
+    golden_baseline: dict[str, str] | None = None
+
+    @classmethod
+    def build(
+        cls,
+        files: dict[str, ParsedFile],
+        golden_baseline: dict[str, str] | None = None,
+    ) -> "Project":
+        from .callgraph import CallGraph
+        from .project import ProjectIndex
+
+        index = ProjectIndex.build(files)
+        return cls(
+            files=files,
+            index=index,
+            callgraph=CallGraph.build(index),
+            golden_baseline=golden_baseline,
+        )
+
+
+class ProgramRule:
+    """A whole-program invariant: sees the :class:`Project`, not one file."""
+
+    rule_id: str = "RL999"
+    slug: str = "unnamed"
+    description: str = ""
+
+    def check(self, project: Project):
+        """Yield ``(rel_path, line, message)`` candidates."""
         raise NotImplementedError  # pragma: no cover
 
 
@@ -258,25 +347,14 @@ def _active_rules() -> list[Rule]:
     return [rule_cls() for rule_cls in ALL_RULES]
 
 
-def _lint_parsed(parsed: ParsedFile, rules: list[Rule]) -> list[Violation]:
-    violations: list[Violation] = []
-    for rule in rules:
-        if not rule.applies(parsed):
-            continue
-        for line, message in rule.check(parsed):
-            pragma = parsed.allow_pragma(line, rule.slug)
-            if pragma is not None:
-                pragma.used = True
-                continue
-            violations.append(Violation(parsed.rel_path, line, rule.rule_id, message))
-    violations.extend(_pragma_hygiene(parsed, rules))
-    violations.sort(key=lambda v: (v.line, v.rule_id))
-    return violations
+def _active_program_rules() -> list[ProgramRule]:
+    from .rules import PROGRAM_RULES
+
+    return [rule_cls() for rule_cls in PROGRAM_RULES]
 
 
-def _pragma_hygiene(parsed: ParsedFile, rules: list[Rule]) -> list[Violation]:
+def _pragma_hygiene(parsed: ParsedFile, known_slugs: set[str]) -> list[Violation]:
     """Framework findings: malformed, reason-less and stale pragmas."""
-    known_slugs = {rule.slug for rule in rules} | {FRAMEWORK_SLUG}
     findings: list[Violation] = []
 
     def hygiene(line: int, message: str) -> None:
@@ -307,50 +385,131 @@ def _pragma_hygiene(parsed: ParsedFile, rules: list[Rule]) -> list[Violation]:
                     )
     for line in parsed.orphan_hot_path_markers():
         hygiene(line, "hot-path marker is not attached to a function definition")
+    for line in parsed.orphan_cold_path_markers():
+        hygiene(line, "cold-path marker is not attached to a function definition")
+    for line in parsed.reasonless_cold_path_markers():
+        hygiene(
+            line,
+            "cold-path marker carries no reason; say why the function is "
+            "rebuild-only (e.g. cold-path built once per rebuild, cached)",
+        )
     return findings
 
 
-def lint_source(source: str, rel_path: str) -> list[Violation]:
-    """Lint in-memory source as if it lived at ``rel_path`` (rule self-tests)."""
-    try:
-        parsed = ParsedFile.parse(source, rel_path)
-    except SyntaxError as exc:
-        return [
-            Violation(rel_path, exc.lineno or 1, FRAMEWORK_RULE_ID, f"syntax error: {exc.msg}")
-        ]
-    return _lint_parsed(parsed, _active_rules())
+def lint_sources(
+    sources: dict[str, str],
+    golden_baseline: dict[str, str] | None = None,
+) -> list[Violation]:
+    """Lint a set of in-memory sources as one project.
 
-
-def iter_python_files(paths: list[str | Path]) -> list[Path]:
-    files: list[Path] = []
-    for entry in paths:
-        path = Path(entry)
-        if path.is_dir():
-            files.extend(
-                p for p in sorted(path.rglob("*.py")) if "__pycache__" not in p.parts
-            )
-        elif path.suffix == ".py":
-            files.append(path)
-    return files
-
-
-def lint_paths(paths: list[str | Path]) -> list[Violation]:
-    """Lint every ``.py`` file under ``paths``; violations in path order."""
+    Per-file rules run first, then the whole-program rules over the project
+    built from every parseable file, then pragma hygiene (last, so a pragma
+    whose only job is suppressing a program-rule finding is not reported
+    stale).  ``golden_baseline`` feeds RL007; ``None`` disables it.
+    """
     rules = _active_rules()
+    program_rules = _active_program_rules()
+    known_slugs = (
+        {rule.slug for rule in rules}
+        | {rule.slug for rule in program_rules}
+        | {FRAMEWORK_SLUG}
+    )
     violations: list[Violation] = []
-    for path in iter_python_files(paths):
-        rel_path = path.as_posix()
+    parsed_files: dict[str, ParsedFile] = {}
+    for rel_path, source in sources.items():
         try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:  # pragma: no cover - unreadable file
-            violations.append(Violation(rel_path, 1, FRAMEWORK_RULE_ID, f"unreadable: {exc}"))
-            continue
-        try:
-            parsed = ParsedFile.parse(source, rel_path)
+            parsed_files[rel_path] = ParsedFile.parse(source, rel_path)
         except SyntaxError as exc:
             violations.append(
                 Violation(rel_path, exc.lineno or 1, FRAMEWORK_RULE_ID, f"syntax error: {exc.msg}")
             )
+    for parsed in parsed_files.values():
+        for rule in rules:
+            if not rule.applies(parsed):
+                continue
+            for line, message in rule.check(parsed):
+                pragma = parsed.allow_pragma(line, rule.slug)
+                if pragma is not None:
+                    pragma.used = True
+                    continue
+                violations.append(Violation(parsed.rel_path, line, rule.rule_id, message))
+    if parsed_files:
+        project = Project.build(parsed_files, golden_baseline=golden_baseline)
+        for rule in program_rules:
+            for rel_path, line, message in rule.check(project):
+                parsed = parsed_files[rel_path]
+                pragma = parsed.allow_pragma(line, rule.slug)
+                if pragma is not None:
+                    pragma.used = True
+                    continue
+                violations.append(Violation(rel_path, line, rule.rule_id, message))
+    for parsed in parsed_files.values():
+        violations.extend(_pragma_hygiene(parsed, known_slugs))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return violations
+
+
+def lint_source(source: str, rel_path: str) -> list[Violation]:
+    """Lint in-memory source as if it lived at ``rel_path`` (rule self-tests).
+
+    The single file forms a one-file project, so the call-graph rules fire on
+    edges provable inside it; RL007 stays off (no baseline).
+    """
+    return lint_sources({rel_path: source})
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated and sorted.
+
+    Overlapping arguments (``src src/repro``) yield each file once;
+    ``__pycache__`` and hidden directories are skipped.
+    """
+    seen: set[str] = set()
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            candidates = path.rglob("*.py")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
             continue
-        violations.extend(_lint_parsed(parsed, rules))
+        for candidate in candidates:
+            if any(
+                part == "__pycache__" or (part.startswith(".") and part not in (".", ".."))
+                for part in candidate.parts
+            ):
+                continue
+            key = candidate.resolve().as_posix()
+            if key in seen:
+                continue
+            seen.add(key)
+            files.append(candidate)
+    return sorted(files, key=lambda p: p.as_posix())
+
+
+def lint_paths(
+    paths: list[str | Path],
+    golden_baseline: dict[str, str] | None | object = "default",
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; violations in path order.
+
+    RL007 checks against the committed ``analysis/golden_baseline.json`` by
+    default; pass an explicit mapping to substitute one, or ``None`` to
+    disable fingerprint checking.
+    """
+    if golden_baseline == "default":
+        from .fingerprint import load_golden_baseline
+
+        golden_baseline = load_golden_baseline()
+    sources: dict[str, str] = {}
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        rel_path = path.as_posix()
+        try:
+            sources[rel_path] = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            violations.append(Violation(rel_path, 1, FRAMEWORK_RULE_ID, f"unreadable: {exc}"))
+    violations.extend(lint_sources(sources, golden_baseline=golden_baseline))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
     return violations

@@ -1,8 +1,11 @@
-"""RL001–RL005: the house contracts as AST rules.
+"""RL001–RL008: the house contracts as AST rules.
 
 Each rule encodes one ROADMAP architecture note (see :mod:`.contracts` for
-the declared sites) and yields ``(line, message)`` candidates; suppression,
-pragma bookkeeping and formatting live in :mod:`.reprolint`.
+the declared sites); suppression, pragma bookkeeping and formatting live in
+:mod:`.reprolint`.  RL001–RL005 are per-file :class:`Rule` detectors yielding
+``(line, message)``; RL006–RL008 are whole-program :class:`ProgramRule`
+detectors over the :class:`~repro.analysis.reprolint.Project` — its call
+graph and golden fingerprints — yielding ``(rel_path, line, message)``.
 """
 
 from __future__ import annotations
@@ -10,7 +13,18 @@ from __future__ import annotations
 import ast
 
 from . import contracts
-from .reprolint import ParsedFile, Rule, call_name, dotted_name, is_numpy_root
+from .callgraph import own_nodes
+from .fingerprint import find_site_region, golden_site_key, region_fingerprint
+from .project import module_name_for
+from .reprolint import (
+    ParsedFile,
+    ProgramRule,
+    Project,
+    Rule,
+    call_name,
+    dotted_name,
+    is_numpy_root,
+)
 
 __all__ = [
     "GoldenFreezeRule",
@@ -18,7 +32,12 @@ __all__ = [
     "BackendPurityRule",
     "FixedOrderReductionRule",
     "DtypeDisciplineRule",
+    "TransitiveHotPathRule",
+    "GoldenDriftRule",
+    "WorkerContextRule",
     "ALL_RULES",
+    "PROGRAM_RULES",
+    "allocation_findings",
 ]
 
 
@@ -121,6 +140,45 @@ class GoldenFreezeRule(Rule):
 # ---------------------------------------------------------------------------
 
 
+def allocation_findings(node: ast.Call):
+    """``(line, description)`` for each allocator idiom in one call node.
+
+    Shared by RL002 (directly marked hot paths) and RL006 (functions the call
+    graph proves reachable from one): ``np.zeros/empty/...`` constructors,
+    ``np.ufunc.at`` scalar scatters, and out-less ``.astype`` copies.
+    """
+    # .astype is matched structurally: the receiver may be any expression
+    # (a chained reshape, a subscript), which a dotted-name resolve misses
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+        if not _astype_copy_false(node):
+            yield node.lineno, "performs an out-less .astype() copy"
+        return
+    name = call_name(node)
+    if name is None:
+        return
+    parts = name.split(".")
+    tail = parts[-1]
+    if (
+        is_numpy_root(name)
+        and len(parts) == 2
+        and tail in contracts.ALLOCATING_CONSTRUCTORS
+    ):
+        yield node.lineno, f"allocates via {name}() every call"
+    elif is_numpy_root(name) and len(parts) == 3 and tail == "at":
+        yield (
+            node.lineno,
+            f"uses the {name} scalar scatter loop "
+            "(use the bincount scatter_add_* idiom)",
+        )
+
+
+def _astype_copy_false(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
 class HotPathAllocationRule(Rule):
     """Registered per-step hot paths must not call allocating constructors.
 
@@ -141,45 +199,8 @@ class HotPathAllocationRule(Rule):
             for node in ast.walk(func):
                 if not isinstance(node, ast.Call):
                     continue
-                yield from self._check_call(node, qualname)
-
-    def _check_call(self, node: ast.Call, qualname: str):
-        # .astype is matched structurally: the receiver may be any expression
-        # (a chained reshape, a subscript), which a dotted-name resolve misses
-        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
-            if not self._copy_false(node):
-                yield (
-                    node.lineno,
-                    f"hot path {qualname} performs an out-less .astype() copy",
-                )
-            return
-        name = call_name(node)
-        if name is None:
-            return
-        parts = name.split(".")
-        tail = parts[-1]
-        if (
-            is_numpy_root(name)
-            and len(parts) == 2
-            and tail in contracts.ALLOCATING_CONSTRUCTORS
-        ):
-            yield (
-                node.lineno,
-                f"hot path {qualname} allocates via {name}() every call",
-            )
-        elif is_numpy_root(name) and len(parts) == 3 and tail == "at":
-            yield (
-                node.lineno,
-                f"hot path {qualname} uses the {name} scalar scatter loop "
-                "(use the bincount scatter_add_* idiom)",
-            )
-
-    @staticmethod
-    def _copy_false(node: ast.Call) -> bool:
-        for keyword in node.keywords:
-            if keyword.arg == "copy" and isinstance(keyword.value, ast.Constant):
-                return keyword.value.value is False
-        return False
+                for line, description in allocation_findings(node):
+                    yield line, f"hot path {qualname} {description}"
 
 
 # ---------------------------------------------------------------------------
@@ -391,10 +412,270 @@ class DtypeDisciplineRule(Rule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# RL006 — transitive hot-path allocation (call-graph propagation)
+# ---------------------------------------------------------------------------
+
+
+class TransitiveHotPathRule(ProgramRule):
+    """Helpers reachable from a hot path are held to the RL002 contract.
+
+    RL002 checks the body of a ``# reprolint: hot-path`` marked function;
+    this rule walks the conservative call graph from every marker and applies
+    the same no-allocation check to everything it can prove the hot path
+    reaches — a helper allocating ``np.zeros`` per call is just as much a
+    steady-state allocation as the same line inlined into the marked body.
+    Boundaries: a ``# reprolint: cold-path <reason>`` marked function (and its
+    callees) is exempt — the rebuild/cache-build cadence — and golden regions
+    are excluded (reference code allocates by design).  Per-line exemptions
+    use the same ``allow[alloc]`` pragma as RL002.
+    """
+
+    rule_id = "RL006"
+    slug = "alloc"
+    description = "helpers reachable from hot paths must stay allocation-free"
+
+    def check(self, project: Project):
+        index = project.index
+        hot_roots = self._marked_ids(project, "hot")
+        if not hot_roots:
+            return
+        cold_ids = self._marked_ids(project, "cold")
+        golden_ids = self._golden_function_ids(project)
+        hot_nested = self._nested_ids(index, hot_roots)
+        stop = lambda fid: fid in cold_ids or fid in golden_ids  # noqa: E731
+        origin = project.callgraph.reachable_from(sorted(hot_roots), stop=stop)
+        for fid in sorted(origin):
+            info = index.functions[fid]
+            if not contracts.in_production_tree(info.rel_path):
+                continue
+            if fid in hot_nested:
+                continue  # lexically inside a marked body: RL002 already checks it
+            root = index.functions[origin[fid]]
+            for node in own_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for line, description in allocation_findings(node):
+                    yield (
+                        info.rel_path,
+                        line,
+                        f"{info.qualname} (reachable from hot path "
+                        f"{root.qualname}) {description}",
+                    )
+
+    @staticmethod
+    def _marked_ids(project: Project, which: str) -> set[str]:
+        ids: set[str] = set()
+        for rel_path, parsed in project.files.items():
+            module = module_name_for(rel_path)
+            marked = (
+                parsed.hot_path_functions()
+                if which == "hot"
+                else parsed.cold_path_functions()
+            )
+            for qualname, _ in marked:
+                fid = f"{module}::{qualname}"
+                if fid in project.index.functions:
+                    ids.add(fid)
+        return ids
+
+    @staticmethod
+    def _nested_ids(index, roots: set[str]) -> set[str]:
+        """Function ids lexically nested inside any of ``roots``."""
+        nested: set[str] = set()
+        for root in roots:
+            root_info = index.functions[root]
+            prefix = f"{root_info.module}::{root_info.qualname}."
+            nested.update(fid for fid in index.functions if fid.startswith(prefix))
+        return nested
+
+    @staticmethod
+    def _golden_function_ids(project: Project) -> set[str]:
+        ids: set[str] = set()
+        for site in contracts.GOLDEN_SITES:
+            for rel_path, parsed in project.files.items():
+                if not rel_path.endswith(site.path_suffix):
+                    continue
+                module = module_name_for(rel_path)
+                for qualname, _ in parsed.functions:
+                    if (
+                        site.qualname is None
+                        or qualname == site.qualname
+                        or qualname.startswith(site.qualname + ".")
+                    ):
+                        ids.add(f"{module}::{qualname}")
+        return ids
+
+
+# ---------------------------------------------------------------------------
+# RL007 — golden-drift fingerprints
+# ---------------------------------------------------------------------------
+
+
+class GoldenDriftRule(ProgramRule):
+    """Golden regions must match their recorded AST fingerprints.
+
+    RL001 bans a list of fast-path idioms inside a golden site; this rule
+    catches every *other* semantic edit: each ``GOLDEN_SITES`` region is
+    hashed (AST dump, locations excluded, docstrings stripped — comments and
+    formatting never trip it) and compared against the hash recorded in
+    ``analysis/golden_baseline.json``.  An intentional golden edit is
+    refreshed with ``python -m repro.analysis --update-golden --reason
+    "..."``; anything else is drift.  The rule only runs when a baseline is
+    loaded (``lint_paths`` / the CLI), never on in-memory corpus lints.
+    """
+
+    rule_id = "RL007"
+    slug = "drift"
+    description = "golden regions must match their recorded fingerprints"
+
+    _REFRESH = "python -m repro.analysis --update-golden --reason '...'"
+
+    def check(self, project: Project):
+        if project.golden_baseline is None:
+            return
+        for site in contracts.GOLDEN_SITES:
+            key = golden_site_key(site)
+            for rel_path in sorted(project.files):
+                if not rel_path.endswith(site.path_suffix):
+                    continue
+                parsed = project.files[rel_path]
+                region = find_site_region(site, parsed)
+                if region is None:
+                    yield (
+                        rel_path,
+                        1,
+                        f"golden site {key} is declared here but the region "
+                        "is gone; restore it or update contracts.GOLDEN_SITES",
+                    )
+                    continue
+                line = getattr(region, "lineno", None) or 1
+                recorded = project.golden_baseline.get(key)
+                if recorded is None:
+                    yield (
+                        rel_path,
+                        line,
+                        f"golden site {key} has no recorded fingerprint; "
+                        f"record it with {self._REFRESH}",
+                    )
+                elif region_fingerprint(region) != recorded:
+                    yield (
+                        rel_path,
+                        line,
+                        f"golden site {key} drifted from its recorded "
+                        "fingerprint; if the edit is intentional, refresh "
+                        f"with {self._REFRESH}",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL008 — worker-context write discipline
+# ---------------------------------------------------------------------------
+
+
+class WorkerContextRule(ProgramRule):
+    """Worker-reachable code must not do the parent's comm/integration work.
+
+    The PR 7 invariant, statically: the parent keeps every communication,
+    integration and reduction step; workers only build neighbour lists and
+    evaluate forces, writing results through their own rank's slab views.
+    Everything the call graph proves reachable from a declared worker
+    entrypoint (``contracts.WORKER_ENTRYPOINTS`` — the multiprocess pool's
+    subprocess main, and the serving prep thread of the PR 9 prep/compute
+    split) must not call ``GhostExchange``/engine comm primitives, integrator
+    half-steps, thermostats, global reductions or future fulfilment, nor
+    write through a ``*.shared.*`` slab chain directly (own-rank row views,
+    captured once at domain construction, are the sanctioned write path).
+    Exemptions use ``allow[worker]`` with a reason.
+    """
+
+    rule_id = "RL008"
+    slug = "worker"
+    description = "worker-reachable code must not run parent-only primitives"
+
+    def check(self, project: Project):
+        index = project.index
+        entries: set[str] = set()
+        for path_suffix, qualname in contracts.WORKER_ENTRYPOINTS:
+            for rel_path in project.files:
+                if rel_path.endswith(path_suffix):
+                    fid = f"{module_name_for(rel_path)}::{qualname}"
+                    if fid in index.functions:
+                        entries.add(fid)
+        if not entries:
+            return
+        origin = project.callgraph.reachable_from(sorted(entries))
+        in_context = {fid: fid for fid in entries}
+        in_context.update(origin)
+        for fid in sorted(in_context):
+            info = index.functions[fid]
+            entry = index.functions[in_context[fid]]
+            context = (
+                "is a worker entrypoint"
+                if fid in entries
+                else f"runs in worker context (reachable from {entry.qualname})"
+            )
+            for node in own_nodes(info.node):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(info, node, context)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        yield from self._check_write(info, target, context)
+
+    def _check_call(self, info, node: ast.Call, context: str):
+        name = call_name(node)
+        if name is None:
+            return
+        tail = name.rsplit(".", 1)[-1]
+        if tail in contracts.WORKER_FORBIDDEN_CALLS:
+            yield (
+                info.rel_path,
+                node.lineno,
+                f"{info.qualname} {context} but calls parent-only "
+                f"primitive {name}()",
+            )
+        elif tail in contracts.WORKER_FORBIDDEN_CONSTRUCTORS:
+            yield (
+                info.rel_path,
+                node.lineno,
+                f"{info.qualname} {context} but constructs the parent-owned "
+                f"comm component {name}",
+            )
+
+    def _check_write(self, info, target: ast.AST, context: str):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_write(info, element, context)
+            return
+        if isinstance(target, ast.Subscript):
+            chain = dotted_name(target.value)
+        elif isinstance(target, ast.Attribute):
+            chain = dotted_name(target)
+        else:
+            return
+        if chain and contracts.SHARED_SLAB_COMPONENT in chain.split("."):
+            yield (
+                info.rel_path,
+                target.lineno,
+                f"{info.qualname} {context} but writes the shared slab "
+                f"{chain} directly; workers write only through their own "
+                "rank's views",
+            )
+
+
 ALL_RULES = (
     GoldenFreezeRule,
     HotPathAllocationRule,
     BackendPurityRule,
     FixedOrderReductionRule,
     DtypeDisciplineRule,
+)
+
+PROGRAM_RULES = (
+    TransitiveHotPathRule,
+    GoldenDriftRule,
+    WorkerContextRule,
 )

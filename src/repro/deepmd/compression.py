@@ -198,6 +198,7 @@ class TabulatedEmbeddingSet:
             writeable=False,
         )
 
+    # reprolint: cold-path packed low-precision copies are built once per dtype and cached; steady-state evaluation gathers from the cache
     def ensure_packed(self, dtype) -> np.ndarray:
         """The packed node array at ``dtype``, cast once and cached.
 

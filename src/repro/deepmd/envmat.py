@@ -168,7 +168,7 @@ def build_local_environment(
     if workspace is not None:
         rank = workspace.buffer("dp.env.rank", (n, width), dtype=np.int64)
     else:
-        rank = np.empty((n, width), dtype=np.int64)
+        rank = np.empty((n, width), dtype=np.int64)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
     np.put_along_axis(
         rank, order_by_dist, np.broadcast_to(np.arange(width), (n, width)), axis=1
     )
@@ -200,12 +200,12 @@ def build_local_environment(
         neighbor_types = workspace.buffer("dp.env.neighbor_types", (n, n_pad), dtype=np.int64)
         neighbor_types.fill(-1)
     else:
-        R = np.zeros((n, n_pad, 4))
-        displacements = np.zeros((n, n_pad, 3))
-        distances = np.zeros((n, n_pad))
-        mask = np.zeros((n, n_pad))
-        neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)
-        neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)
+        R = np.zeros((n, n_pad, 4))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+        displacements = np.zeros((n, n_pad, 3))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+        distances = np.zeros((n, n_pad))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+        mask = np.zeros((n, n_pad))  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+        neighbor_indices = np.full((n, n_pad), -1, dtype=np.int64)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
+        neighbor_types = np.full((n, n_pad), -1, dtype=np.int64)  # reprolint: allow[alloc] workspace-less reference branch allocates per call by design
 
     displacements[out_r, out_s] = disp[src_r, src_c]
     distances[out_r, out_s] = dist[src_r, src_c]

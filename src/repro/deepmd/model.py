@@ -204,6 +204,7 @@ class DeepPotential:
             self._fast_fittings = self.fittings.export()
         return self._fast_fittings
 
+    # reprolint: cold-path tabulation builds once per (n_points, min_distance) key and is cached; the hot loop only reads the finished table
     def compressed_embeddings(
         self, n_points: int = 2048, min_distance: float = 0.5
     ) -> TabulatedEmbeddingSet:
@@ -257,8 +258,8 @@ class DeepPotential:
         entry = self._lp_standardization.get(key)
         if entry is None:
             entry = (
-                self.descriptor_mean[center_type].astype(dt),
-                self.descriptor_std[center_type].astype(dt),
+                self.descriptor_mean[center_type].astype(dt),  # reprolint: allow[alloc] cast once per (type, dtype), cached across steps
+                self.descriptor_std[center_type].astype(dt),  # reprolint: allow[alloc] cast once per (type, dtype), cached across steps
             )
             self._lp_standardization[key] = entry
         return entry

@@ -96,10 +96,10 @@ class WaterReference(ForceField):
         energy = 0.5 * self.k_bond * dr * dr
         f_mag = -self.k_bond * dr  # force on atom 0 along +delta
         pair_forces = (f_mag / r)[:, None] * delta
-        np.add.at(forces, bonds[:, 0], pair_forces)
-        np.add.at(forces, bonds[:, 1], -pair_forces)
-        np.add.at(per_atom, bonds[:, 0], 0.5 * energy)
-        np.add.at(per_atom, bonds[:, 1], 0.5 * energy)
+        np.add.at(forces, bonds[:, 0], pair_forces)  # reprolint: allow[alloc] O(bonds) intramolecular scatter the parity tests pin
+        np.add.at(forces, bonds[:, 1], -pair_forces)  # reprolint: allow[alloc] O(bonds) intramolecular scatter the parity tests pin
+        np.add.at(per_atom, bonds[:, 0], 0.5 * energy)  # reprolint: allow[alloc] O(bonds) intramolecular scatter the parity tests pin
+        np.add.at(per_atom, bonds[:, 1], 0.5 * energy)  # reprolint: allow[alloc] O(bonds) intramolecular scatter the parity tests pin
         return float(energy.sum())
 
     def _angle_terms(self, atoms: Atoms, box: Box, forces: np.ndarray, per_atom: np.ndarray) -> float:
@@ -125,10 +125,10 @@ class WaterReference(ForceField):
         f_i = coeff * (b / (ra * rb)[:, None] - cos_theta[:, None] * a / (ra * ra)[:, None])
         f_k = coeff * (a / (ra * rb)[:, None] - cos_theta[:, None] * b / (rb * rb)[:, None])
         f_j = -(f_i + f_k)
-        np.add.at(forces, i, f_i)
-        np.add.at(forces, j, f_j)
-        np.add.at(forces, k, f_k)
-        np.add.at(per_atom, j, energy)
+        np.add.at(forces, i, f_i)  # reprolint: allow[alloc] O(angles) intramolecular scatter the parity tests pin
+        np.add.at(forces, j, f_j)  # reprolint: allow[alloc] O(angles) intramolecular scatter the parity tests pin
+        np.add.at(forces, k, f_k)  # reprolint: allow[alloc] O(angles) intramolecular scatter the parity tests pin
+        np.add.at(per_atom, j, energy)  # reprolint: allow[alloc] O(angles) intramolecular scatter the parity tests pin
         return float(energy.sum())
 
     # -- intermolecular terms ---------------------------------------------------

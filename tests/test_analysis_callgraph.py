@@ -1,0 +1,301 @@
+"""Call-graph resolver edge cases: the conservative contract, pinned.
+
+Each case builds a :class:`ProjectIndex` + :class:`CallGraph` over a small
+in-memory project and asserts the exact edge set (or the exact skip record —
+the resolver must *prove* a callee, never guess one).
+"""
+
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import ProjectIndex, module_name_for
+from repro.analysis.reprolint import ParsedFile
+
+
+def build(sources: dict[str, str]) -> tuple[ProjectIndex, CallGraph]:
+    parsed = {
+        path: ParsedFile.parse(textwrap.dedent(source), path)
+        for path, source in sources.items()
+    }
+    index = ProjectIndex.build(parsed)
+    return index, CallGraph.build(index)
+
+
+def edges(graph: CallGraph, caller: str) -> set[str]:
+    return graph.edges.get(caller, set())
+
+
+# ---------------------------------------------------------------------------
+# name resolution
+# ---------------------------------------------------------------------------
+
+
+def test_module_name_strips_src_and_init():
+    assert module_name_for("src/repro/md/neighbor.py") == "repro.md.neighbor"
+    assert module_name_for("src/repro/parallel/__init__.py") == "repro.parallel"
+
+
+def test_direct_call_and_module_alias():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def f():
+                    pass
+
+                g = f
+
+                def caller():
+                    g()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::caller") == {"pkg.mod::f"}
+
+
+def test_from_import_with_same_name_resolves_across_modules():
+    # regression: the resolver's cycle guard must key on (module, name) —
+    # a bare-name guard made every `from x import f` self-shadow and return None
+    _, graph = build(
+        {
+            "src/pkg/a.py": """\
+                from .b import helper
+
+                def caller():
+                    return helper()
+                """,
+            "src/pkg/b.py": """\
+                def helper():
+                    pass
+                """,
+        }
+    )
+    assert edges(graph, "pkg.a::caller") == {"pkg.b::helper"}
+
+
+def test_recursion_terminates_and_roots_are_excluded():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def loop(n):
+                    if n:
+                        return loop(n - 1)
+                    return other()
+
+                def other():
+                    pass
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::loop") == {"pkg.mod::loop", "pkg.mod::other"}
+    reached = graph.reachable_from(["pkg.mod::loop"])
+    assert reached == {"pkg.mod::other": "pkg.mod::loop"}
+
+
+# ---------------------------------------------------------------------------
+# methods, overrides, constructors
+# ---------------------------------------------------------------------------
+
+_FORCEFIELD = """\
+    class Base:
+        def compute(self):
+            pass
+
+    class Sub(Base):
+        def compute(self):
+            pass
+
+    class SubSub(Sub):
+        pass
+
+    def driver():
+        field = Base()
+        field.compute()
+    """
+
+
+def test_method_call_expands_to_every_subclass_override():
+    _, graph = build({"src/pkg/mod.py": _FORCEFIELD})
+    assert edges(graph, "pkg.mod::driver") == {
+        "pkg.mod::Base.compute",
+        "pkg.mod::Sub.compute",
+    }
+
+
+def test_self_method_call_resolves_through_the_owner_class():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                class Engine:
+                    def run(self):
+                        self.step()
+
+                    def step(self):
+                        pass
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::Engine.run") == {"pkg.mod::Engine.step"}
+
+
+def test_constructor_reaches_init_through_the_mro():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                class Base:
+                    def __init__(self):
+                        pass
+
+                class Sub(Base):
+                    pass
+
+                def make():
+                    return Sub()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::make") == {"pkg.mod::Base.__init__"}
+
+
+def test_dispatch_dict_constructor_edges_to_every_value_class():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                class A:
+                    def __init__(self):
+                        pass
+
+                class B:
+                    def __init__(self):
+                        pass
+
+                KINDS = {"a": A, "b": B}
+
+                def make(kind):
+                    return KINDS[kind]()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::make") == {
+        "pkg.mod::A.__init__",
+        "pkg.mod::B.__init__",
+    }
+
+
+# ---------------------------------------------------------------------------
+# closures, lambdas, callbacks
+# ---------------------------------------------------------------------------
+
+
+def test_nested_def_gets_a_closure_edge_and_its_calls_stay_its_own():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def outer():
+                    def inner():
+                        leaf()
+
+                def leaf():
+                    pass
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::outer") == {"pkg.mod::outer.inner"}
+    assert edges(graph, "pkg.mod::outer.inner") == {"pkg.mod::leaf"}
+
+
+def test_lambda_body_is_attributed_to_the_enclosing_function():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def apply(f):
+                    return f()
+
+                def leaf():
+                    pass
+
+                def caller():
+                    return apply(lambda: leaf())
+                """
+        }
+    )
+    assert "pkg.mod::leaf" in edges(graph, "pkg.mod::caller")
+
+
+def test_function_passed_as_argument_gets_a_reference_edge():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def handler(message):
+                    pass
+
+                def register(conn):
+                    conn.on_message(handler)
+                """
+        }
+    )
+    assert "pkg.mod::handler" in edges(graph, "pkg.mod::register")
+
+
+# ---------------------------------------------------------------------------
+# the conservative contract: skip, never guess
+# ---------------------------------------------------------------------------
+
+
+def test_multi_level_receiver_is_skipped_with_line_and_descriptor():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def run(self):
+                    self.backend.step()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::run") == set()
+    assert graph.skipped["pkg.mod::run"] == [(2, "self.backend.step")]
+
+
+def test_unknown_name_call_is_skipped_not_guessed():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def run():
+                    mystery()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::run") == set()
+    assert graph.skipped["pkg.mod::run"] == [(2, "mystery")]
+
+
+def test_parameter_receiver_method_is_skipped():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def run(engine):
+                    engine.compute()
+                """
+        }
+    )
+    assert edges(graph, "pkg.mod::run") == set()
+    assert graph.skipped["pkg.mod::run"] == [(2, "engine.compute")]
+
+
+def test_reachability_stop_predicate_is_a_hard_boundary():
+    _, graph = build(
+        {
+            "src/pkg/mod.py": """\
+                def root():
+                    middle()
+
+                def middle():
+                    leaf()
+
+                def leaf():
+                    pass
+                """
+        }
+    )
+    reached = graph.reachable_from(
+        ["pkg.mod::root"], stop=lambda fid: fid == "pkg.mod::middle"
+    )
+    assert reached == {}

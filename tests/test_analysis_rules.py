@@ -9,8 +9,14 @@ over the real tree: the production source must stay clean.
 
 import textwrap
 
-from repro.analysis import lint_paths, lint_source
-from repro.analysis.reprolint import FRAMEWORK_RULE_ID
+from repro.analysis import lint_paths, lint_source, lint_sources
+from repro.analysis.contracts import GOLDEN_SITES
+from repro.analysis.fingerprint import (
+    find_site_region,
+    golden_site_key,
+    region_fingerprint,
+)
+from repro.analysis.reprolint import FRAMEWORK_RULE_ID, ParsedFile
 
 GOLDEN_MODULE_PATH = "src/repro/deepmd/scalar.py"
 GOLDEN_FUNC_PATH = "src/repro/md/neighbor.py"
@@ -373,6 +379,371 @@ def test_rl005_pragma_with_reason_suppresses():
 
 
 # ---------------------------------------------------------------------------
+# RL006 — transitive hot-path allocation (call-graph propagation)
+# ---------------------------------------------------------------------------
+
+
+def test_rl006_helper_reached_through_the_call_graph_fires():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            # reprolint: hot-path
+            def compute(n):
+                return helper(n)
+
+            def helper(n):
+                return np.zeros(n)
+            """,
+            HOT_PATH,
+        ),
+        "RL006",
+    )
+    assert [v.line for v in violations] == [8]
+    assert "helper (reachable from hot path compute)" in violations[0].message
+    assert "np.zeros" in violations[0].message
+
+
+def test_rl006_propagates_through_call_chains():
+    violations = fired(
+        lint(
+            """\
+            import numpy as np
+
+            # reprolint: hot-path
+            def compute(pairs, n):
+                return outer(pairs, n)
+
+            def outer(pairs, n):
+                return inner(pairs, n)
+
+            def inner(pairs, n):
+                out = np.empty(n)
+                np.add.at(out, pairs, 1.0)
+                return out
+            """,
+            HOT_PATH,
+        ),
+        "RL006",
+    )
+    assert [v.line for v in violations] == [11, 12]
+    assert all("reachable from hot path compute" in v.message for v in violations)
+
+
+def test_rl006_resolves_helpers_imported_from_another_module():
+    # the cross-file case: the hot root and the allocating helper live in
+    # different modules, connected only by a relative import
+    violations = fired(
+        lint_sources(
+            {
+                "src/repro/md/fake_hot.py": textwrap.dedent(
+                    """\
+                    from .fake_util import helper
+
+                    # reprolint: hot-path
+                    def compute(n):
+                        return helper(n)
+                    """
+                ),
+                "src/repro/md/fake_util.py": textwrap.dedent(
+                    """\
+                    import numpy as np
+
+                    def helper(n):
+                        return np.zeros(n)
+                    """
+                ),
+            }
+        ),
+        "RL006",
+    )
+    (violation,) = violations
+    assert violation.path == "src/repro/md/fake_util.py"
+    assert violation.line == 4
+
+
+def test_rl006_cold_path_marker_is_a_boundary():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return build(n)
+
+        # reprolint: cold-path table builds once per rebuild and is cached
+        def build(n):
+            return np.zeros(n)
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+def test_rl006_cold_path_boundary_shields_transitive_callees_too():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return build(n)
+
+        # reprolint: cold-path cache rebuild cadence, not per step
+        def build(n):
+            return fill(n)
+
+        def fill(n):
+            return np.zeros(n)
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+def test_rl006_allow_alloc_pragma_suppresses():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return helper(n)
+
+        def helper(n):
+            return np.zeros(n)  # reprolint: allow[alloc] reference branch allocates by design
+        """,
+        HOT_PATH,
+    )
+    assert violations == []
+
+
+def test_rl006_does_not_fire_outside_the_production_tree():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return helper(n)
+
+        def helper(n):
+            return np.zeros(n)
+        """,
+        "tests/fake_probe.py",
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 — golden-drift fingerprints
+# ---------------------------------------------------------------------------
+
+_GOLDEN_FUNC_SOURCE = textwrap.dedent(
+    '''\
+    import numpy as np
+
+    def _brute_force_pairs(positions, box, cutoff):
+        """All pairs within cutoff, O(N^2)."""
+        pairs = []
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                pairs.append((i, j))
+        return pairs
+    '''
+)
+
+
+def _fingerprint_for(source: str, rel_path: str) -> tuple[str, str]:
+    """``(baseline key, hash)`` of the golden region inside ``source``."""
+    parsed = ParsedFile.parse(source, rel_path)
+    (site,) = [s for s in GOLDEN_SITES if rel_path.endswith(s.path_suffix)]
+    region = find_site_region(site, parsed)
+    assert region is not None
+    return golden_site_key(site), region_fingerprint(region)
+
+
+def test_rl007_matching_fingerprint_is_clean():
+    key, fingerprint = _fingerprint_for(_GOLDEN_FUNC_SOURCE, GOLDEN_FUNC_PATH)
+    violations = lint_sources(
+        {GOLDEN_FUNC_PATH: _GOLDEN_FUNC_SOURCE}, golden_baseline={key: fingerprint}
+    )
+    assert violations == []
+
+
+def test_rl007_semantic_edit_fires_until_refreshed():
+    key, fingerprint = _fingerprint_for(_GOLDEN_FUNC_SOURCE, GOLDEN_FUNC_PATH)
+    edited = _GOLDEN_FUNC_SOURCE.replace("range(i + 1,", "range(i + 2,")
+    violations = fired(
+        lint_sources({GOLDEN_FUNC_PATH: edited}, golden_baseline={key: fingerprint}),
+        "RL007",
+    )
+    (violation,) = violations
+    assert violation.line == 3  # the region's def line
+    assert "drifted" in violation.message
+    assert "--update-golden" in violation.message
+    # refreshing the baseline (what --update-golden records) clears it
+    _, new_fingerprint = _fingerprint_for(edited, GOLDEN_FUNC_PATH)
+    assert (
+        lint_sources({GOLDEN_FUNC_PATH: edited}, golden_baseline={key: new_fingerprint})
+        == []
+    )
+
+
+def test_rl007_comment_and_docstring_edits_never_fire():
+    key, fingerprint = _fingerprint_for(_GOLDEN_FUNC_SOURCE, GOLDEN_FUNC_PATH)
+    reworded = _GOLDEN_FUNC_SOURCE.replace(
+        '"""All pairs within cutoff, O(N^2)."""',
+        '"""Reworded docstring."""  # and a new comment',
+    )
+    assert (
+        lint_sources({GOLDEN_FUNC_PATH: reworded}, golden_baseline={key: fingerprint})
+        == []
+    )
+
+
+def test_rl007_missing_recorded_fingerprint_fires():
+    violations = fired(
+        lint_sources({GOLDEN_FUNC_PATH: _GOLDEN_FUNC_SOURCE}, golden_baseline={}),
+        "RL007",
+    )
+    (violation,) = violations
+    assert "no recorded fingerprint" in violation.message
+
+
+def test_rl007_region_gone_fires_on_line_one():
+    key, fingerprint = _fingerprint_for(_GOLDEN_FUNC_SOURCE, GOLDEN_FUNC_PATH)
+    gutted = "import numpy as np\n"
+    violations = fired(
+        lint_sources({GOLDEN_FUNC_PATH: gutted}, golden_baseline={key: fingerprint}),
+        "RL007",
+    )
+    (violation,) = violations
+    assert violation.line == 1
+    assert "is gone" in violation.message
+
+
+def test_rl007_disabled_without_a_baseline():
+    edited = _GOLDEN_FUNC_SOURCE.replace("range(i + 1,", "range(i + 2,")
+    assert fired(lint_source(edited, GOLDEN_FUNC_PATH), "RL007") == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 — worker-context write discipline
+# ---------------------------------------------------------------------------
+
+WORKER_PATH = "src/repro/parallel/executor.py"
+SERVING_ENGINE_PATH = "src/repro/serving/engine.py"
+
+
+def test_rl008_entrypoint_and_reachable_helpers_are_policed():
+    violations = fired(
+        lint(
+            """\
+            def _worker_main(conn):
+                task = conn.recv()
+                run_task(task)
+
+            def run_task(task):
+                exchange = GhostExchange(task)
+                task.first_half(0.5)
+                return exchange
+            """,
+            WORKER_PATH,
+        ),
+        "RL008",
+    )
+    assert [(v.line, v.path) for v in violations] == [
+        (6, WORKER_PATH),
+        (7, WORKER_PATH),
+    ]
+    assert "constructs the parent-owned comm component GhostExchange" in violations[0].message
+    assert "reachable from _worker_main" in violations[0].message
+    assert "calls parent-only primitive task.first_half()" in violations[1].message
+
+
+def test_rl008_shared_slab_write_fires_with_line():
+    violations = fired(
+        lint(
+            """\
+            def _worker_main(conn):
+                write_back(conn.recv())
+
+            def write_back(domain):
+                domain.shared.forces[0] = 1.0
+            """,
+            WORKER_PATH,
+        ),
+        "RL008",
+    )
+    (violation,) = violations
+    assert violation.line == 5
+    assert "writes the shared slab domain.shared.forces" in violation.message
+    assert "own rank's views" in violation.message
+
+
+def test_rl008_forbidden_call_in_the_entrypoint_itself():
+    violations = fired(
+        lint(
+            """\
+            def _worker_main(conn):
+                future.set_result(None)
+            """,
+            WORKER_PATH,
+        ),
+        "RL008",
+    )
+    (violation,) = violations
+    assert violation.line == 2
+    assert "is a worker entrypoint" in violation.message
+
+
+def test_rl008_serving_prep_loop_is_an_entrypoint_too():
+    violations = fired(
+        lint(
+            """\
+            class ServingEngine:
+                def _prep_loop(self):
+                    self._exchange_ghosts()
+            """,
+            SERVING_ENGINE_PATH,
+        ),
+        "RL008",
+    )
+    (violation,) = violations
+    assert violation.line == 3
+    assert "is a worker entrypoint" in violation.message
+
+
+def test_rl008_allow_worker_pragma_suppresses():
+    violations = lint(
+        """\
+        def _worker_main(conn):
+            write_back(conn.recv())
+
+        def write_back(domain):
+            domain.shared.forces[0] = 1.0  # reprolint: allow[worker] single-writer handshake owns this slab here
+        """,
+        WORKER_PATH,
+    )
+    assert violations == []
+
+
+def test_rl008_functions_outside_worker_context_are_untouched():
+    violations = lint(
+        """\
+        def parent_step(domain):
+            domain.shared.forces[0] = 1.0
+            exchange = GhostExchange(domain)
+            return exchange
+        """,
+        WORKER_PATH,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
 # RL000 — pragma hygiene (the framework polices its own escape hatch)
 # ---------------------------------------------------------------------------
 
@@ -424,6 +795,33 @@ def test_rl000_orphan_hot_path_marker_is_a_violation():
     assert "not attached" in violations[0].message
 
 
+def test_rl000_orphan_cold_path_marker_is_a_violation():
+    violations = lint(
+        """\
+        # reprolint: cold-path cache rebuild only
+        x = 1
+        """,
+        PRODUCTION_PATH,
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "not attached" in violations[0].message
+
+
+def test_rl000_reasonless_cold_path_marker_is_a_violation():
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: cold-path
+        def build(n):
+            return np.zeros(n)
+        """,
+        PRODUCTION_PATH,
+    )
+    assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
+    assert "no reason" in violations[0].message
+
+
 def test_rl000_syntax_error_is_reported_not_raised():
     violations = lint_source("def broken(:\n", PRODUCTION_PATH)
     assert [v.rule_id for v in violations] == [FRAMEWORK_RULE_ID]
@@ -441,6 +839,103 @@ def test_pragma_text_inside_string_literals_is_inert():
         PRODUCTION_PATH,
     )
     assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# Reporting layer, file discovery and the CLI
+# ---------------------------------------------------------------------------
+
+
+def test_render_json_report_round_trips_as_a_baseline(tmp_path):
+    import json
+
+    from repro.analysis.report import apply_baseline, load_report_baseline, render_json
+
+    violations = lint(
+        """\
+        import numpy as np
+
+        # reprolint: hot-path
+        def compute(n):
+            return np.zeros(n)
+        """,
+        HOT_PATH,
+    )
+    payload = json.loads(render_json(violations))
+    assert payload["tool"] == "reprolint"
+    assert payload["counts"] == {"RL002": 1}
+    assert {entry["id"] for entry in payload["rules"]} >= {
+        "RL000", "RL002", "RL006", "RL007", "RL008",
+    }
+    report = tmp_path / "report.json"
+    report.write_text(render_json(violations), encoding="utf-8")
+    kept, suppressed = apply_baseline(violations, load_report_baseline(report))
+    assert kept == [] and suppressed == 1
+
+
+def test_render_sarif_carries_rule_and_location():
+    import json
+
+    from repro.analysis.report import render_sarif
+
+    violations = lint("x = 1  # reprolint: ignore-all\n", PRODUCTION_PATH)
+    sarif = json.loads(render_sarif(violations))
+    assert sarif["version"] == "2.1.0"
+    (result,) = sarif["runs"][0]["results"]
+    assert result["ruleId"] == FRAMEWORK_RULE_ID
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == PRODUCTION_PATH
+
+
+def test_iter_python_files_dedupes_and_skips_cache_dirs(tmp_path):
+    from repro.analysis.reprolint import iter_python_files
+
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / ".hidden").mkdir()
+    (tmp_path / "pkg" / ".hidden" / "b.py").write_text("x = 1\n")
+    # overlapping roots plus the file named directly: still one entry
+    files = iter_python_files(
+        [tmp_path, tmp_path / "pkg", tmp_path / "pkg" / "a.py"]
+    )
+    assert [f.name for f in files] == ["a.py"]
+
+
+def test_cli_list_rules_and_explain(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in ("RL000", "RL001", "RL006", "RL007", "RL008"):
+        assert rule_id in listing
+    assert main(["--explain", "RL006"]) == 0
+    assert "call graph" in capsys.readouterr().out
+    assert main(["--explain", "RL999"]) == 2
+
+
+def test_cli_json_output_file_and_exit_codes(tmp_path, capsys):
+    from repro.analysis.__main__ import main
+
+    bad = tmp_path / "src" / "repro" / "md" / "probe.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\n\n# reprolint: hot-path\ndef f(n):\n    return np.zeros(n)\n")
+    report = tmp_path / "report.json"
+    assert main([str(bad), "--format", "json", "--output", str(report)]) == 1
+    assert "RL002: 1" in capsys.readouterr().out
+    # the JSON report doubles as a baseline: the same findings now pass
+    assert main([str(bad), "--baseline", str(report)]) == 0
+    assert "hidden by --baseline" in capsys.readouterr().out
+
+
+def test_cli_update_golden_requires_a_reason(tmp_path):
+    import pytest
+
+    from repro.analysis.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--update-golden", str(tmp_path)])
 
 
 # ---------------------------------------------------------------------------
